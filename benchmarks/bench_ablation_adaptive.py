@@ -1,0 +1,57 @@
+"""Ablation: AdaProp-style per-layer budget schedules (paper's ref. [40]).
+
+Not a paper table — one of DESIGN.md's design-choice ablations: compares
+a uniform per-node budget against a tightening per-layer schedule with
+the same first-layer budget, measuring quality (recall/ndcg@20) and cost
+(computation-graph edges at inference).
+"""
+
+import numpy as np
+
+from repro.core import KUCNetConfig, TrainConfig, kucnet_adaptive, kucnet_full
+from repro.data import lastfm_like, traditional_split
+from repro.eval import evaluate
+from repro.experiments import TableResult, active_profile
+
+from conftest import run_once
+
+
+def run_ablation():
+    profile = active_profile()
+    dataset = lastfm_like(seed=0, scale=profile.scale)
+    split = traditional_split(dataset, seed=0)
+
+    variants = {
+        "uniform K=20": kucnet_full(
+            KUCNetConfig(dim=48, depth=3, dropout=0.1, seed=0),
+            TrainConfig(epochs=profile.kucnet_epochs, k=20,
+                        learning_rate=3e-3, seed=0)),
+        "schedule 20/10/5": kucnet_adaptive(
+            KUCNetConfig(dim=48, depth=3, dropout=0.1, seed=0),
+            TrainConfig(epochs=profile.kucnet_epochs, k=20,
+                        learning_rate=3e-3, seed=0)),
+    }
+    rows = {}
+    for name, model in variants.items():
+        model.fit(split)
+        result = evaluate(model, split, max_users=profile.eval_users)
+        users = split.test_users[:8]
+        edges = model.count_inference_edges(users, mode="pruned")
+        rows[name] = {"recall@20": result.recall, "ndcg@20": result.ndcg,
+                      "edges(8 users)": edges}
+    return TableResult(
+        title=f"Ablation — adaptive propagation schedules "
+              f"(profile={profile.name})",
+        columns=["recall@20", "ndcg@20", "edges(8 users)"], rows=rows,
+        notes=["tightening budgets bound the deepest layer's growth; the "
+               "question is how much quality that costs"])
+
+
+def test_ablation_adaptive(benchmark, report):
+    result = run_once(benchmark, run_ablation)
+    report(result, "ablation_adaptive")
+
+    uniform = result.rows["uniform K=20"]
+    scheduled = result.rows["schedule 20/10/5"]
+    assert scheduled["edges(8 users)"] < uniform["edges(8 users)"], (
+        "the tightening schedule must reduce computation-graph size")

@@ -1,0 +1,63 @@
+"""Micro-benchmarks of the autodiff engine's graph primitives.
+
+Not a paper table — engineering telemetry for the substrate that
+replaces PyTorch: forward+backward throughput of the two primitives
+message passing is built from (``gather_rows`` and ``segment_sum``) and
+of one full KUCNet layer.
+"""
+
+import numpy as np
+import pytest
+
+from repro.autodiff import Tensor, gather_rows, segment_sum
+from repro.core.layers import AttentionMessagePassing
+from repro.sampling import LayerEdges
+
+NUM_EDGES = 50_000
+NUM_NODES = 5_000
+DIM = 48
+
+RNG = np.random.default_rng(0)
+SRC = RNG.integers(0, NUM_NODES, size=NUM_EDGES)
+DST = np.sort(RNG.integers(0, NUM_NODES, size=NUM_EDGES))
+RELS = RNG.integers(0, 10, size=NUM_EDGES)
+
+
+def test_gather_forward_backward(benchmark):
+    x = Tensor(RNG.normal(size=(NUM_NODES, DIM)), requires_grad=True)
+
+    def run():
+        x.zero_grad()
+        out = gather_rows(x, SRC)
+        (out * out).sum().backward()
+        return out
+
+    benchmark(run)
+
+
+def test_segment_sum_forward_backward(benchmark):
+    x = Tensor(RNG.normal(size=(NUM_EDGES, DIM)), requires_grad=True)
+
+    def run():
+        x.zero_grad()
+        out = segment_sum(x, DST, NUM_NODES)
+        (out * out).sum().backward()
+        return out
+
+    benchmark(run)
+
+
+def test_attention_layer_forward_backward(benchmark):
+    layer = AttentionMessagePassing(dim=DIM, attn_dim=5, num_relations=10,
+                                    rng=np.random.default_rng(0))
+    hidden = Tensor(RNG.normal(size=(NUM_NODES, DIM)))
+    edges = LayerEdges(src_pos=SRC, relations=RELS, dst_pos=DST,
+                       heads=SRC, tails=DST)
+
+    def run():
+        layer.zero_grad()
+        out, _ = layer(hidden, edges, NUM_NODES)
+        (out * out).sum().backward()
+        return out
+
+    benchmark(run)

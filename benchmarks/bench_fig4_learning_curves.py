@@ -1,0 +1,29 @@
+"""Benchmark: learning curves on the Last-FM analogue (Fig. 4).
+
+The paper's claim: KUCNet reaches better metrics in less training time
+than the GNN baselines (KGAT, KGIN, R-GCN).  We assert KUCNet's best
+recall along its curve is at least that of every baseline's best.
+"""
+
+from collections import defaultdict
+
+from repro.experiments import run_fig4
+
+from conftest import run_once
+
+
+def test_fig4_learning_curves(benchmark, report):
+    result = run_once(benchmark, run_fig4)
+    report(result, "fig4_learning_curves")
+
+    best = defaultdict(float)
+    for row, cells in result.rows.items():
+        method = row.split(" @epoch")[0]
+        best[method] = max(best[method], cells["recall@20"])
+
+    assert best, "no learning-curve points recorded"
+    for method, value in best.items():
+        if method != "KUCNet":
+            assert best["KUCNet"] >= value * 0.98, (
+                f"KUCNet's best recall {best['KUCNet']:.4f} should match or "
+                f"beat {method}'s {value:.4f}")

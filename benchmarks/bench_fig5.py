@@ -1,0 +1,23 @@
+"""Benchmark: parameter counts (Fig. 5).
+
+The paper's claim: KUCNet has significantly fewer parameters than every
+other KG-using method because it learns no node embeddings.
+"""
+
+from repro.experiments import run_fig5
+
+from conftest import run_once
+
+
+def test_fig5(benchmark, report):
+    result = run_once(benchmark, run_fig5)
+    report(result, "fig5_parameters")
+
+    for dataset in result.columns:
+        kucnet = result.rows["KUCNet"][dataset]
+        for method, cells in result.rows.items():
+            if method == "KUCNet":
+                continue
+            assert kucnet < cells[dataset], (
+                f"{dataset}: KUCNet ({kucnet}) must have fewer parameters "
+                f"than {method} ({cells[dataset]})")

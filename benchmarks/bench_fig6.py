@@ -1,0 +1,23 @@
+"""Benchmark: inference cost of computation-graph strategies (Fig. 6).
+
+The paper's claims (Eq. 12 and §V-E3):
+
+* per-pair U-I computation graphs cost far more edges and time than the
+  merged user-centric graph (KUCNet-w.o.-PPR);
+* PPR pruning reduces both further (KUCNet).
+"""
+
+from repro.experiments import run_fig6
+
+from conftest import run_once
+
+
+def test_fig6(benchmark, report):
+    result = run_once(benchmark, run_fig6)
+    report(result, "fig6_inference")
+
+    ui = result.rows["KUCNet-UI"]
+    full = result.rows["KUCNet-w.o.-PPR"]
+    pruned = result.rows["KUCNet"]
+    assert ui["edges"] > full["edges"] > pruned["edges"]
+    assert ui["seconds"] > pruned["seconds"]

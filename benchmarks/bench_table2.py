@@ -1,0 +1,16 @@
+"""Benchmark: Dataset statistics (Table II).
+
+Regenerates the paper's table2 with the experiment harness and saves the
+measured rows (side-by-side with paper values where applicable) to
+``benchmarks/results/table2.md``.
+"""
+
+from repro.experiments import run_table2
+
+from conftest import run_once
+
+
+def test_table2(benchmark, report):
+    result = run_once(benchmark, run_table2)
+    report(result, "table2")
+    assert result.rows

@@ -1,0 +1,26 @@
+"""Benchmark: disease-gene prediction, new items and new users (Table V).
+
+Checks the paper's qualitative shape: the subgraph/path methods dominate
+embedding methods in both settings, and KUCNet is best overall.
+"""
+
+from repro.experiments import run_table5
+
+from conftest import run_once
+
+
+def test_table5_disgenet(benchmark, report):
+    result = run_once(benchmark, run_table5)
+    report(result, "table5_disgenet")
+
+    for setting in ("new_item", "new_user"):
+        column = f"{setting}:recall"
+        ranked = sorted(result.rows, key=lambda m: result.rows[m][column],
+                        reverse=True)
+        top3 = set(ranked[:3])
+        assert "KUCNet" in top3, (
+            f"{setting}: KUCNet should be among the top methods, "
+            f"ranking was {ranked}")
+        # embedding CF methods must not lead
+        assert ranked[0] in {"KUCNet", "REDGNN", "PathSim", "PPR", "R-GCN"}, (
+            f"{setting}: a non-embedding method should lead, got {ranked[0]}")

@@ -1,0 +1,21 @@
+"""Benchmark: running-time decomposition (Table VI).
+
+The paper's claim: the one-time PPR preprocessing is cheap relative to
+training on every dataset (minutes vs hours at paper scale).
+"""
+
+from repro.experiments import run_table6
+
+from conftest import run_once
+
+
+def test_table6(benchmark, report):
+    result = run_once(benchmark, run_table6)
+    report(result, "table6_running_time")
+
+    for dataset in result.columns:
+        ppr = result.rows["PPR (s)"][dataset]
+        training = result.rows["Training (s)"][dataset]
+        assert ppr < training, (
+            f"{dataset}: PPR preprocessing ({ppr:.2f}s) should be cheaper "
+            f"than training ({training:.2f}s)")

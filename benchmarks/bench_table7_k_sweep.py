@@ -1,0 +1,22 @@
+"""Benchmark: sampling-number K sweep (Table VII).
+
+The paper's shape: recall has an interior optimum in K — too small
+starves the subgraph of information, too large admits noise.  At reduced
+scale we assert the weaker, robust part: moderate/large budgets beat the
+smallest one.
+"""
+
+from repro.experiments import run_table7
+
+from conftest import run_once
+
+
+def test_table7_k_sweep(benchmark, report):
+    result = run_once(benchmark, run_table7)
+    report(result, "table7_k_sweep")
+
+    smallest = result.columns[0]
+    for label, cells in result.rows.items():
+        best_k = max(cells, key=cells.get)
+        assert best_k != smallest, (
+            f"{label}: expected K > {smallest} to win, cells={cells}")

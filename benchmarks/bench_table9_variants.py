@@ -1,0 +1,30 @@
+"""Benchmark: KUCNet variant ablation (Table IX).
+
+The paper's shape: full KUCNet >= KUCNet-w.o.-Attn >= KUCNet-random on
+average — PPR-guided pruning beats random sampling, and attention adds
+on top.  We assert the averaged orderings (per-cell orderings are noisy
+at reduced scale, as they are within ±0.003 in the paper itself).
+"""
+
+import numpy as np
+
+from repro.experiments import run_table9
+
+from conftest import run_once
+
+
+def test_table9_variants(benchmark, report):
+    result = run_once(benchmark, run_table9)
+    report(result, "table9_variants")
+
+    def mean_recall(variant):
+        return float(np.mean(list(result.rows[variant].values())))
+
+    full = mean_recall("KUCNet")
+    random_variant = mean_recall("KUCNet-random")
+    no_attention = mean_recall("KUCNet-w.o.-Attn")
+    assert full >= random_variant * 0.98, (
+        f"PPR sampling should not lose to random: {full:.4f} vs "
+        f"{random_variant:.4f}")
+    assert full >= no_attention * 0.98, (
+        f"attention should not hurt: {full:.4f} vs {no_attention:.4f}")

@@ -1,0 +1,32 @@
+"""Shared helpers for the table/figure benchmarks.
+
+Each benchmark regenerates one paper table or figure via the experiment
+harness, prints the measured-vs-paper rows, and saves a markdown copy
+under ``benchmarks/results/``.  Select scale with ``REPRO_PROFILE``
+(``quick`` default, ``full`` for the complete runs).
+"""
+
+import os
+
+import pytest
+
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+
+
+@pytest.fixture
+def report():
+    """Print a TableResult and persist it under benchmarks/results/."""
+
+    def _report(result, stem):
+        text = result.render()
+        print("\n" + text)
+        path = result.save(RESULTS_DIR, stem)
+        print(f"[saved {path}]")
+        return result
+
+    return _report
+
+
+def run_once(benchmark, fn):
+    """Run ``fn`` exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1)

@@ -1,0 +1,54 @@
+#!/usr/bin/env python3
+"""Mini Table III: compare KUCNet against a sample of baselines.
+
+Trains MF (pure CF), KGIN (the strongest KG baseline of the paper),
+KGAT (attention over the CKG), and KUCNet on the Last-FM analogue and
+prints a ranked comparison — a fast, self-contained version of the
+Table III benchmark.
+
+Run:  python examples/compare_baselines.py
+"""
+
+import time
+
+from repro.baselines import KGAT, KGIN, MF, BaselineConfig
+from repro.core import KUCNetConfig, KUCNetRecommender, TrainConfig
+from repro.data import lastfm_like, traditional_split
+from repro.eval import evaluate
+
+
+def main() -> None:
+    dataset = lastfm_like(seed=0, scale=0.6)
+    split = traditional_split(dataset, seed=0)
+    print(f"dataset: {dataset.name} {dataset.statistics()}\n")
+
+    contenders = [
+        MF(BaselineConfig(dim=32, epochs=15, seed=0)),
+        KGAT(BaselineConfig(dim=32, epochs=10, seed=0)),
+        KGIN(BaselineConfig(dim=32, epochs=15, seed=0)),
+        KUCNetRecommender(KUCNetConfig(dim=48, depth=3, dropout=0.1, seed=0),
+                          TrainConfig(epochs=6, k=20, learning_rate=3e-3,
+                                      seed=0)),
+    ]
+
+    results = []
+    for model in contenders:
+        started = time.perf_counter()
+        model.fit(split)
+        result = evaluate(model, split, max_users=80)
+        elapsed = time.perf_counter() - started
+        results.append((model.name, result.recall, result.ndcg, elapsed))
+
+    results.sort(key=lambda row: -row[1])
+    print(f"{'method':10s} {'recall@20':>10s} {'ndcg@20':>10s} {'seconds':>8s}")
+    for name, recall, ndcg, seconds in results:
+        print(f"{name:10s} {recall:10.4f} {ndcg:10.4f} {seconds:8.1f}")
+
+    best = results[0][0]
+    print(f"\nbest method: {best}"
+          + ("  (matches the paper's Table III on KG-rich data)"
+             if best == "KUCNet" else ""))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,55 @@
+#!/usr/bin/env python3
+"""Disease-gene prediction with new users (diseases), as in §V-D.
+
+The DisGeNet analogue treats diseases as users and genes as items.  The
+biological KG contributes gene-gene, gene-GO, and gene-pathway triplets;
+crucially, diseases are connected by a *user-side* disease-disease
+relation, so a brand-new disease (no known gene associations) can still
+be linked to genes through similar diseases.
+
+Run:  python examples/disease_gene_prediction.py
+"""
+
+from repro.baselines import MF, BaselineConfig
+from repro.core import (KUCNetConfig, KUCNetRecommender, TrainConfig,
+                        explain, render_explanation)
+from repro.data import disgenet_like, new_user_split
+from repro.eval import evaluate, rank_items
+
+
+def main() -> None:
+    dataset = disgenet_like(seed=0, scale=1.0)
+    print(f"dataset: {dataset.name} {dataset.statistics()}")
+    print(f"user-side KG (disease-disease): {len(dataset.user_triplets)} links")
+
+    # Hold out one fifth of the diseases entirely (new-user setting).
+    split = new_user_split(dataset, fold=0, seed=0)
+    print(f"{len(split.test_users)} new diseases with no training history")
+
+    # CF collapses: new diseases have no embedding signal.
+    mf = MF(BaselineConfig(dim=32, epochs=10, seed=0)).fit(split)
+    print(f"MF    : {evaluate(mf, split, max_users=30)}")
+
+    # KUCNet reaches genes through disease-disease + disease-gene paths.
+    model = KUCNetRecommender(
+        KUCNetConfig(dim=48, depth=4, seed=0),
+        TrainConfig(epochs=12, k=40, learning_rate=5e-3, seed=0),
+    )
+    model.fit(split)
+    print(f"KUCNet: {evaluate(model, split, max_users=30)}")
+
+    # Interpretability (§V-F): why was the top gene predicted for the
+    # first new disease?  Trace the high-attention paths.
+    disease = split.test_users[0]
+    scores = model.score_users([disease])[0]
+    top_gene = int(rank_items(scores, split.train.positives(disease), 1)[0])
+    propagation = model.propagate_users([disease])
+    edges = explain(propagation, model.ckg, slot=0, item=top_gene,
+                    threshold=0.3)
+    print(f"\nwhy gene {top_gene} for new disease {disease}? "
+          f"(high-attention paths)")
+    print(render_explanation(edges[:8], model.ckg))
+
+
+if __name__ == "__main__":
+    main()

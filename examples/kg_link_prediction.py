@@ -1,0 +1,51 @@
+#!/usr/bin/env python3
+"""KG link prediction: embedding vs subgraph methods (§II-C, §VI).
+
+The paper frames recommendation as link prediction on ``interact`` edges
+and builds on the subgraph lineage (RED-GNN); its conclusion points at
+drug-drug interaction prediction as a future application.  This example
+runs both families on the biological KG of the DisGeNet analogue —
+predicting missing gene-gene / gene-GO / gene-pathway links — and shows
+the subgraph predictor working *without any entity embeddings*.
+
+Run:  python examples/kg_link_prediction.py
+"""
+
+from repro.data import disgenet_like
+from repro.linkpred import (LinkPredConfig, LinkPredictor,
+                            SubgraphLinkPredConfig, SubgraphLinkPredictor,
+                            split_triplets)
+
+
+def main() -> None:
+    dataset = disgenet_like(seed=0, scale=0.6)
+    kg = dataset.kg
+    print(f"biological KG: {kg.num_entities} entities, "
+          f"{kg.num_relations} relations, {kg.num_triplets} triplets")
+
+    train, test = split_triplets(kg, test_fraction=0.1, seed=0)
+    print(f"train/test triplets: {train.shape[0]}/{test.shape[0]}\n")
+
+    for scorer in ("transe", "distmult"):
+        predictor = LinkPredictor(LinkPredConfig(scorer=scorer, dim=32,
+                                                 epochs=30, seed=0))
+        predictor.fit(kg, train)
+        print(f"{scorer:9s} (embedding): {predictor.evaluate(test)}")
+
+    from repro.linkpred import GNNLinkPredConfig, GNNLinkPredictor
+    compgcn = GNNLinkPredictor(GNNLinkPredConfig(model="compgcn", dim=32,
+                                                 epochs=10, seed=0))
+    compgcn.fit(kg, train)
+    print(f"{'compgcn':9s} (GNN emb.) : {compgcn.evaluate(test)}")
+
+    subgraph = SubgraphLinkPredictor(
+        SubgraphLinkPredConfig(dim=32, depth=3, epochs=8, seed=0))
+    subgraph.fit(kg, train)
+    print(f"{'subgraph':9s} (inductive): {subgraph.evaluate(test)}")
+    print("\nthe subgraph predictor has no entity embeddings — the same "
+          "parameters rank entities it never saw in a training triplet, "
+          "the property KUCNet inherits for new items and users.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,52 @@
+#!/usr/bin/env python3
+"""New-item recommendation: the cold-start scenario of §V-C.
+
+One fifth of the items is held out: their interactions are removed from
+training, so they exist *only* in the knowledge graph — like newly
+released movies in the paper's Figure 1.  Embedding methods (MF) have no
+signal for them; KUCNet reaches them through KG paths.
+
+Run:  python examples/new_item_recommendation.py
+"""
+
+from repro.baselines import MF, BaselineConfig, PathSim
+from repro.core import KUCNetConfig, KUCNetRecommender, TrainConfig
+from repro.data import lastfm_like, new_item_split
+from repro.eval import evaluate
+
+
+def main() -> None:
+    dataset = lastfm_like(seed=0, scale=0.6)
+    split = new_item_split(dataset, fold=0, seed=0)
+    held_out = len(split.candidate_items)
+    print(f"dataset: {dataset.name}; {held_out} of {dataset.num_items} "
+          f"items held out as 'new'")
+
+    # A pure CF model: its embeddings for new items receive no gradient.
+    mf = MF(BaselineConfig(dim=32, epochs=10, seed=0)).fit(split)
+    mf_result = evaluate(mf, split, max_users=60)
+    print(f"MF      : {mf_result}   <- collapses (no signal for new items)")
+
+    # A meta-path baseline: works through shared KG attributes.
+    pathsim = PathSim(seed=0).fit(split)
+    pathsim_result = evaluate(pathsim, split, max_users=60)
+    print(f"PathSim : {pathsim_result}")
+
+    # KUCNet: relative representations propagate through the KG, so new
+    # items are scored exactly like seen ones.  The new-item setting
+    # favours a deeper model (L=4) to accumulate more KG evidence.
+    kucnet = KUCNetRecommender(
+        KUCNetConfig(dim=48, depth=4, seed=0),
+        TrainConfig(epochs=12, k=40, learning_rate=5e-3, seed=0),
+    )
+    kucnet.fit(split)
+    kucnet_result = evaluate(kucnet, split, max_users=60)
+    print(f"KUCNet  : {kucnet_result}")
+
+    assert kucnet_result.recall > mf_result.recall, (
+        "KUCNet should dominate CF on new items")
+    print("\nKUCNet recommends new items through the KG where MF cannot.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,32 @@
+"""KUCNet reproduction: knowledge-enhanced recommendation with
+user-centric subgraph networks (Liu, Yao, Zhang, Chen -- ICDE 2024).
+
+Top-level convenience re-exports; see subpackage docs for details:
+
+* :mod:`repro.autodiff` -- numpy reverse-mode autodiff engine;
+* :mod:`repro.graph` -- user-item graph, KG, collaborative KG;
+* :mod:`repro.ppr` -- Personalized PageRank;
+* :mod:`repro.data` -- synthetic datasets and splits;
+* :mod:`repro.sampling` -- U-I subgraphs and user-centric graphs;
+* :mod:`repro.core` -- the KUCNet model, trainer, and variants;
+* :mod:`repro.eval` -- metrics and the all-ranking protocol;
+* :mod:`repro.baselines` -- the 13 comparison methods;
+* :mod:`repro.experiments` -- per-table/figure experiment runners.
+"""
+
+__version__ = "1.0.0"
+
+from .core import KUCNet, KUCNetConfig, KUCNetRecommender, TrainConfig
+from .data import (alibaba_ifashion_like, amazon_book_like, disgenet_like,
+                   lastfm_like, new_item_split, new_user_split,
+                   traditional_split)
+from .eval import evaluate
+
+__all__ = [
+    "__version__",
+    "KUCNet", "KUCNetConfig", "KUCNetRecommender", "TrainConfig",
+    "lastfm_like", "amazon_book_like", "alibaba_ifashion_like",
+    "disgenet_like",
+    "traditional_split", "new_item_split", "new_user_split",
+    "evaluate",
+]

@@ -1,0 +1,11 @@
+"""Analysis and diagnostics: graph statistics and terminal plots."""
+
+from .charts import ascii_bar_chart, ascii_curve
+from .diagnostics import (computation_graph_stats, dataset_report,
+                          degree_histogram, reach_statistics)
+
+__all__ = [
+    "ascii_curve", "ascii_bar_chart",
+    "degree_histogram", "computation_graph_stats", "reach_statistics",
+    "dataset_report",
+]

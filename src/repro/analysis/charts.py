@@ -1,0 +1,63 @@
+"""Terminal plotting: ASCII curves and bar charts for bench output.
+
+Used by the Fig. 4/5/6 benches to give a visual read of the reproduced
+figures without any plotting dependency.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+
+def ascii_curve(series: Dict[str, Sequence[Tuple[float, float]]],
+                width: int = 60, height: int = 14,
+                x_label: str = "x", y_label: str = "y") -> str:
+    """Plot ``{name: [(x, y), ...]}`` as an ASCII scatter/line chart.
+
+    Each series gets a distinct marker; axes are linearly scaled to the
+    data range.
+    """
+    if not series or all(not points for points in series.values()):
+        return "(no data)"
+    markers = "*o+x#@%&"
+    all_points = [point for points in series.values() for point in points]
+    xs = [p[0] for p in all_points]
+    ys = [p[1] for p in all_points]
+    x_min, x_max = min(xs), max(xs)
+    y_min, y_max = min(ys), max(ys)
+    x_span = (x_max - x_min) or 1.0
+    y_span = (y_max - y_min) or 1.0
+
+    canvas = [[" "] * width for _ in range(height)]
+    for index, (name, points) in enumerate(series.items()):
+        marker = markers[index % len(markers)]
+        for x, y in points:
+            column = int((x - x_min) / x_span * (width - 1))
+            row = height - 1 - int((y - y_min) / y_span * (height - 1))
+            canvas[row][column] = marker
+
+    lines = [f"{y_max:10.4f} |" + "".join(canvas[0])]
+    for row in canvas[1:-1]:
+        lines.append(" " * 10 + " |" + "".join(row))
+    lines.append(f"{y_min:10.4f} |" + "".join(canvas[-1]))
+    lines.append(" " * 12 + "-" * width)
+    lines.append(" " * 12 + f"{x_min:<.4g}{' ' * max(1, width - 16)}{x_max:>.4g}"
+                 [:12 + width])
+    legend = "   ".join(f"{markers[i % len(markers)]}={name}"
+                        for i, name in enumerate(series))
+    lines.append(f"{y_label} vs {x_label}:   {legend}")
+    return "\n".join(lines)
+
+
+def ascii_bar_chart(values: Dict[str, float], width: int = 50,
+                    label: str = "") -> str:
+    """Horizontal bar chart of ``{name: value}``."""
+    if not values:
+        return "(no data)"
+    peak = max(values.values()) or 1.0
+    name_width = max(len(name) for name in values)
+    lines = [label] if label else []
+    for name, value in values.items():
+        bar = "#" * max(1, int(round(value / peak * width))) if value > 0 else ""
+        lines.append(f"{name.ljust(name_width)} |{bar} {value:g}")
+    return "\n".join(lines)

@@ -1,0 +1,51 @@
+"""Finite-difference gradient checking for the autodiff engine."""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+import numpy as np
+
+from .tensor import Tensor
+
+
+def numeric_gradient(fn: Callable[[], Tensor], tensor: Tensor, eps: float = 1e-6) -> np.ndarray:
+    """Central-difference gradient of scalar ``fn()`` w.r.t. ``tensor``.
+
+    ``fn`` must recompute the forward pass from ``tensor.data`` each call.
+    """
+    grad = np.zeros_like(tensor.data)
+    flat = tensor.data.reshape(-1)
+    grad_flat = grad.reshape(-1)
+    for index in range(flat.size):
+        original = flat[index]
+        flat[index] = original + eps
+        plus = fn().item()
+        flat[index] = original - eps
+        minus = fn().item()
+        flat[index] = original
+        grad_flat[index] = (plus - minus) / (2.0 * eps)
+    return grad
+
+
+def check_gradients(fn: Callable[[], Tensor], tensors: Sequence[Tensor],
+                    eps: float = 1e-6, atol: float = 1e-5, rtol: float = 1e-4) -> bool:
+    """Compare autodiff gradients of scalar ``fn()`` against finite differences.
+
+    Raises ``AssertionError`` with the offending tensor on mismatch;
+    returns ``True`` on success.
+    """
+    for tensor in tensors:
+        tensor.zero_grad()
+    out = fn()
+    out.backward()
+    for position, tensor in enumerate(tensors):
+        expected = numeric_gradient(fn, tensor, eps=eps)
+        actual = tensor.grad if tensor.grad is not None else np.zeros_like(tensor.data)
+        if not np.allclose(actual, expected, atol=atol, rtol=rtol):
+            worst = np.abs(actual - expected).max()
+            raise AssertionError(
+                f"gradient mismatch on tensor #{position} "
+                f"(name={tensor.name!r}): max abs err {worst:.3e}"
+            )
+    return True

@@ -1,0 +1,33 @@
+"""Weight-initialization helpers."""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+
+def xavier_uniform(shape: Tuple[int, ...], gain: float = 1.0,
+                   rng: Optional[np.random.Generator] = None) -> np.ndarray:
+    """Glorot/Xavier uniform init ``U(-a, a)`` with ``a = gain*sqrt(6/(fan_in+fan_out))``."""
+    rng = rng or np.random.default_rng()
+    fan_in, fan_out = _fans(shape)
+    bound = gain * np.sqrt(6.0 / (fan_in + fan_out))
+    return rng.uniform(-bound, bound, size=shape)
+
+
+def xavier_normal(shape: Tuple[int, ...], gain: float = 1.0,
+                  rng: Optional[np.random.Generator] = None) -> np.ndarray:
+    """Glorot/Xavier normal init ``N(0, gain^2 * 2/(fan_in+fan_out))``."""
+    rng = rng or np.random.default_rng()
+    fan_in, fan_out = _fans(shape)
+    std = gain * np.sqrt(2.0 / (fan_in + fan_out))
+    return rng.normal(0.0, std, size=shape)
+
+
+def _fans(shape: Tuple[int, ...]) -> Tuple[int, int]:
+    if len(shape) < 1:
+        raise ValueError("shape must have at least one dimension")
+    if len(shape) == 1:
+        return shape[0], shape[0]
+    return shape[-1], shape[-2]

@@ -1,0 +1,195 @@
+"""Neural-network module abstraction over the autodiff engine.
+
+Mirrors the small subset of ``torch.nn`` this reproduction needs:
+:class:`Parameter`, :class:`Module` (with recursive parameter discovery),
+:class:`Linear`, :class:`Embedding`, and :class:`Dropout`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, Optional, Tuple
+
+import numpy as np
+
+from . import init
+from .ops import dropout as dropout_op
+from .ops import gather_rows
+from .tensor import Tensor
+
+
+class Parameter(Tensor):
+    """A tensor registered as trainable state of a :class:`Module`."""
+
+    def __init__(self, data, name: str = ""):
+        super().__init__(data, requires_grad=True, name=name)
+
+
+class Module:
+    """Base class for models; discovers parameters via attributes.
+
+    Any :class:`Parameter` assigned as an attribute, and any parameters of
+    child :class:`Module` attributes (including modules in lists/dicts),
+    are reachable through :meth:`parameters` and :meth:`named_parameters`.
+    """
+
+    def __init__(self):
+        self.training = True
+
+    # ------------------------------------------------------------------
+    def named_parameters(self, prefix: str = "") -> Iterator[Tuple[str, Parameter]]:
+        """Yield ``(dotted_name, parameter)`` pairs, depth-first.
+
+        Recurses through child modules and arbitrarily nested
+        lists/tuples/dicts of modules and parameters.
+        """
+        for key, value in vars(self).items():
+            yield from _walk_parameters(value, f"{prefix}{key}")
+
+    def parameters(self) -> list:
+        return [param for _, param in self.named_parameters()]
+
+    def num_parameters(self) -> int:
+        """Total number of scalar trainable parameters."""
+        return sum(param.size for param in self.parameters())
+
+    def zero_grad(self) -> None:
+        for param in self.parameters():
+            param.zero_grad()
+
+    # ------------------------------------------------------------------
+    def train(self) -> "Module":
+        """Enable training-mode behaviour (dropout active)."""
+        self._set_mode(True)
+        return self
+
+    def eval(self) -> "Module":
+        """Enable inference-mode behaviour (dropout off)."""
+        self._set_mode(False)
+        return self
+
+    def _set_mode(self, training: bool) -> None:
+        self.training = training
+        for value in vars(self).values():
+            _walk_set_mode(value, training)
+
+    # ------------------------------------------------------------------
+    def state_dict(self) -> Dict[str, np.ndarray]:
+        """Copy of every parameter's data keyed by dotted name."""
+        return {name: param.data.copy() for name, param in self.named_parameters()}
+
+    def load_state_dict(self, state: Dict[str, np.ndarray]) -> None:
+        """Load parameter data saved by :meth:`state_dict`."""
+        own = dict(self.named_parameters())
+        missing = set(own) - set(state)
+        unexpected = set(state) - set(own)
+        if missing or unexpected:
+            raise KeyError(f"state mismatch: missing={sorted(missing)} unexpected={sorted(unexpected)}")
+        for name, param in own.items():
+            if param.data.shape != state[name].shape:
+                raise ValueError(
+                    f"shape mismatch for {name}: {param.data.shape} vs {state[name].shape}"
+                )
+            param.data = state[name].copy()
+
+    def __call__(self, *args, **kwargs):
+        return self.forward(*args, **kwargs)
+
+    def forward(self, *args, **kwargs):
+        raise NotImplementedError
+
+
+def _walk_parameters(value, name: str) -> Iterator[Tuple[str, Parameter]]:
+    """Recursive helper behind :meth:`Module.named_parameters`."""
+    if isinstance(value, Parameter):
+        yield name, value
+    elif isinstance(value, Module):
+        yield from value.named_parameters(prefix=f"{name}.")
+    elif isinstance(value, (list, tuple)):
+        for index, element in enumerate(value):
+            yield from _walk_parameters(element, f"{name}.{index}")
+    elif isinstance(value, dict):
+        for key, element in value.items():
+            yield from _walk_parameters(element, f"{name}.{key}")
+
+
+def _walk_set_mode(value, training: bool) -> None:
+    """Recursive helper behind :meth:`Module._set_mode`."""
+    if isinstance(value, Module):
+        value._set_mode(training)
+    elif isinstance(value, (list, tuple)):
+        for element in value:
+            _walk_set_mode(element, training)
+    elif isinstance(value, dict):
+        for element in value.values():
+            _walk_set_mode(element, training)
+
+
+class Linear(Module):
+    """Affine map ``y = x W^T + b`` with Xavier-initialized weights."""
+
+    def __init__(self, in_features: int, out_features: int, bias: bool = True,
+                 rng: Optional[np.random.Generator] = None):
+        super().__init__()
+        self.in_features = in_features
+        self.out_features = out_features
+        self.weight = Parameter(init.xavier_uniform((out_features, in_features), rng=rng), name="weight")
+        self.bias = Parameter(np.zeros(out_features), name="bias") if bias else None
+
+    def forward(self, x: Tensor) -> Tensor:
+        out = x @ self.weight.T
+        if self.bias is not None:
+            out = out + self.bias
+        return out
+
+
+class Embedding(Module):
+    """Lookup table mapping integer ids to dense rows."""
+
+    def __init__(self, num_embeddings: int, dim: int, rng: Optional[np.random.Generator] = None,
+                 scale: Optional[float] = None):
+        super().__init__()
+        self.num_embeddings = num_embeddings
+        self.dim = dim
+        rng = rng or np.random.default_rng()
+        scale = scale if scale is not None else (1.0 / np.sqrt(dim))
+        self.weight = Parameter(rng.normal(0.0, scale, size=(num_embeddings, dim)), name="embedding")
+
+    def forward(self, ids: np.ndarray) -> Tensor:
+        return gather_rows(self.weight, ids)
+
+
+class Dropout(Module):
+    """Inverted dropout module; inert in eval mode."""
+
+    def __init__(self, rate: float, rng: Optional[np.random.Generator] = None):
+        super().__init__()
+        if not 0.0 <= rate < 1.0:
+            raise ValueError(f"dropout rate must be in [0, 1), got {rate}")
+        self.rate = rate
+        self._rng = rng or np.random.default_rng()
+
+    def forward(self, x: Tensor) -> Tensor:
+        return dropout_op(x, self.rate, training=self.training, rng=self._rng)
+
+
+class Sequential(Module):
+    """Chain of modules applied in order."""
+
+    def __init__(self, *layers: Module):
+        super().__init__()
+        self.layers = list(layers)
+
+    def forward(self, x: Tensor) -> Tensor:
+        for layer in self.layers:
+            x = layer(x)
+        return x
+
+
+class ReLU(Module):
+    def forward(self, x: Tensor) -> Tensor:
+        return x.relu()
+
+
+class Tanh(Module):
+    def forward(self, x: Tensor) -> Tensor:
+        return x.tanh()

@@ -1,0 +1,59 @@
+"""Baseline recommenders: the 13 comparison methods of Tables III-V.
+
+Grouped as in the paper:
+
+* CF-based: :class:`MF`, :class:`FM`, :class:`NFM`;
+* KG-based: :class:`RippleNet`, :class:`KGNNLS`, :class:`CKAN`,
+  :class:`KGIN`;
+* CKG-based: :class:`CKE`, :class:`RGCN`, :class:`KGAT`;
+* non-embedding (new-item capable): :class:`PPRRecommender`,
+  :class:`PathSim`, :class:`REDGNN`.
+"""
+
+from .base import BaselineConfig, BPRModelRecommender, Recommender
+from .cke import CKE
+from .extra import NCF, LightGCN, TransERec
+from .mcrec import MCRec
+from .ckan import CKAN
+from .fm import FM, NFM
+from .kgat import KGAT
+from .kgin import KGIN
+from .kgnn_ls import KGNNLS
+from .mf import MF
+from .pathsim import PathSim
+from .ppr_rec import PPRRecommender
+from .redgnn import REDGNN
+from .rgcn import RGCN
+from .ripplenet import RippleNet
+
+#: All baselines keyed by their table row label.
+BASELINES = {
+    "MF": MF,
+    "FM": FM,
+    "NFM": NFM,
+    "RippleNet": RippleNet,
+    "KGNN-LS": KGNNLS,
+    "CKAN": CKAN,
+    "KGIN": KGIN,
+    "CKE": CKE,
+    "R-GCN": RGCN,
+    "KGAT": KGAT,
+    "PPR": PPRRecommender,
+    "PathSim": PathSim,
+    "REDGNN": REDGNN,
+}
+
+#: extension methods from the paper's related work (not table rows)
+EXTRA_BASELINES = {
+    "LightGCN": LightGCN,
+    "NCF": NCF,
+    "TransE": TransERec,
+    "MCRec": MCRec,
+}
+
+__all__ = [
+    "Recommender", "BPRModelRecommender", "BaselineConfig", "BASELINES",
+    "EXTRA_BASELINES", "LightGCN", "NCF", "TransERec", "MCRec",
+    "MF", "FM", "NFM", "RippleNet", "KGNNLS", "CKAN", "KGIN",
+    "CKE", "RGCN", "KGAT", "PPRRecommender", "PathSim", "REDGNN",
+]

@@ -1,0 +1,161 @@
+"""Shared infrastructure for baseline recommenders.
+
+Every baseline implements the :class:`Recommender` interface (``fit`` on
+a :class:`~repro.data.Split`, then ``score_users``).  Models trained with
+BPR share the mini-batch loop in :class:`BPRModelRecommender`: subclasses
+only provide a differentiable ``pair_scores(users, items)`` and a full
+``score_users``.
+"""
+
+from __future__ import annotations
+
+import time
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..autodiff import Adam, Module, Tensor, bpr_loss
+from ..data import Split
+
+
+@dataclass
+class BaselineConfig:
+    """Common hyper-parameters for learned baselines."""
+
+    dim: int = 32
+    epochs: int = 15
+    batch_size: int = 256
+    learning_rate: float = 0.01
+    weight_decay: float = 1e-5
+    seed: int = 0
+    verbose: bool = False
+
+
+class Recommender(ABC):
+    """Interface shared by every method in the evaluation tables."""
+
+    name: str = "recommender"
+
+    @abstractmethod
+    def fit(self, split: Split) -> "Recommender":
+        """Train (or precompute) on the split's training interactions."""
+
+    @abstractmethod
+    def score_users(self, users: Sequence[int]) -> np.ndarray:
+        """Scores over all items, shape ``(len(users), num_items)``."""
+
+    def num_parameters(self) -> int:
+        """Trainable parameter count (0 for heuristic methods)."""
+        return 0
+
+
+class BPRModelRecommender(Recommender, Module, ABC):
+    """Base class for embedding models trained with BPR (Eq. 14).
+
+    The fit loop samples ``(u, i+, i-)`` triplets uniformly over training
+    interactions, scores them with the subclass's :meth:`pair_scores`,
+    and optimizes with Adam.  ``self.train_seconds`` and
+    ``self.epoch_history`` feed the efficiency analyses (Fig. 4).
+    """
+
+    def __init__(self, config: Optional[BaselineConfig] = None):
+        Module.__init__(self)
+        self.config = config or BaselineConfig()
+        self.rng = np.random.default_rng(self.config.seed)
+        self.split: Optional[Split] = None
+        self.train_seconds = 0.0
+        self.epoch_history: List[Tuple[int, float, float]] = []  # (epoch, loss, cum s)
+
+    # ------------------------------------------------------------------
+    @abstractmethod
+    def build(self, split: Split) -> None:
+        """Allocate parameters once the data dimensions are known."""
+
+    @abstractmethod
+    def pair_scores(self, users: np.ndarray, items: np.ndarray) -> Tensor:
+        """Differentiable scores for aligned (user, item) id arrays."""
+
+    def extra_loss(self, users: np.ndarray, pos: np.ndarray,
+                   neg: np.ndarray) -> Optional[Tensor]:
+        """Optional auxiliary loss term (e.g. CKE's TransR objective)."""
+        return None
+
+    # ------------------------------------------------------------------
+    def fit(self, split: Split, epoch_callback=None) -> "BPRModelRecommender":
+        """Train with BPR.
+
+        ``epoch_callback(epoch, model, cumulative_seconds)`` fires after
+        each epoch (used by the Fig. 4 learning-curve bench).
+        """
+        self.split = split
+        self.build(split)
+        optimizer = Adam(self.parameters(), lr=self.config.learning_rate,
+                         weight_decay=self.config.weight_decay)
+        users = split.train.users
+        items = split.train.items
+        num_interactions = users.size
+        if num_interactions == 0:
+            raise ValueError("training split has no interactions")
+        num_items = split.dataset.num_items
+
+        self.train()
+        cumulative = 0.0
+        for epoch in range(self.config.epochs):
+            started = time.perf_counter()
+            order = self.rng.permutation(num_interactions)
+            losses = []
+            for start in range(0, num_interactions, self.config.batch_size):
+                batch = order[start:start + self.config.batch_size]
+                batch_users = users[batch]
+                batch_pos = items[batch]
+                batch_neg = self._sample_negatives(split, batch_users, num_items)
+
+                pos_scores = self.pair_scores(batch_users, batch_pos)
+                neg_scores = self.pair_scores(batch_users, batch_neg)
+                loss = bpr_loss(pos_scores, neg_scores)
+                extra = self.extra_loss(batch_users, batch_pos, batch_neg)
+                if extra is not None:
+                    loss = loss + extra
+
+                optimizer.zero_grad()
+                loss.backward()
+                optimizer.step()
+                losses.append(loss.item())
+            cumulative += time.perf_counter() - started
+            self.epoch_history.append((epoch, float(np.mean(losses)), cumulative))
+            if self.config.verbose:
+                print(f"{self.name} epoch {epoch}: loss={np.mean(losses):.4f}")
+            if epoch_callback is not None:
+                self.eval()
+                epoch_callback(epoch, self, cumulative)
+                self.train()
+        self.train_seconds = cumulative
+        self.eval()
+        return self
+
+    def _sample_negatives(self, split: Split, batch_users: np.ndarray,
+                          num_items: int) -> np.ndarray:
+        negatives = self.rng.integers(0, num_items, size=batch_users.size)
+        for position, user in enumerate(batch_users):
+            while split.train.has_interaction(int(user), int(negatives[position])):
+                negatives[position] = self.rng.integers(0, num_items)
+        return negatives
+
+    def num_parameters(self) -> int:
+        return Module.num_parameters(self)
+
+
+def sample_fixed_neighbors(rng: np.random.Generator, candidates: np.ndarray,
+                           size: int) -> np.ndarray:
+    """Sample exactly ``size`` entries (with replacement if needed).
+
+    Used by the GNN baselines that work on fixed-size sampled
+    neighborhoods (RippleNet, KGNN-LS, CKAN).  Empty candidate sets are
+    the caller's responsibility.
+    """
+    if candidates.size == 0:
+        raise ValueError("cannot sample from empty candidate set")
+    replace = candidates.size < size
+    return rng.choice(candidates, size=size, replace=replace)

@@ -1,0 +1,184 @@
+"""Factorization Machines and Neural FM (the FM/NFM rows of Table III).
+
+Both consume, for a (user, item) pair, a sparse feature vector holding
+the user id, the item id, and the item's KG attribute entities as
+context features (the "contextual information" §II-A credits FM with).
+The second-order term is the classic factorized pairwise interaction
+
+    0.5 * sum_d [ (Σ_f v_fd)^2 - Σ_f v_fd^2 ],
+
+which NFM replaces with a bi-interaction *vector* fed through an MLP.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from ..autodiff import Linear, Parameter, Tensor, gather_rows, segment_sum
+from ..data import Split
+from .base import BaselineConfig, BPRModelRecommender
+
+
+class FM(BPRModelRecommender):
+    """Factorization Machine (Rendle et al., 2011) with KG context features.
+
+    Feature id space: users, then items, then KG entities, then one dummy
+    padding feature (zero contribution target) for items with few
+    attributes.
+    """
+
+    name = "FM"
+
+    def __init__(self, config: Optional[BaselineConfig] = None,
+                 context_size: int = 4):
+        super().__init__(config)
+        self.context_size = context_size
+
+    # ------------------------------------------------------------------
+    def build(self, split: Split) -> None:
+        dataset = split.dataset
+        self.num_users = dataset.num_users
+        self.num_items = dataset.num_items
+        num_entities = dataset.kg.num_entities
+        self._item_offset = self.num_users
+        self._entity_offset = self.num_users + self.num_items
+        self._dummy = self._entity_offset + num_entities
+        num_features = self._dummy + 1
+
+        scale = 1.0 / np.sqrt(self.config.dim)
+        self.feature_embedding = Parameter(
+            self.rng.normal(0, scale, size=(num_features, self.config.dim)),
+            name="feature_embedding")
+        self.feature_weight = Parameter(np.zeros(num_features),
+                                        name="feature_weight")
+        self.global_bias = Parameter(np.zeros(1), name="global_bias")
+        self._item_context = self._build_item_context(dataset)
+
+    def _build_item_context(self, dataset) -> np.ndarray:
+        """Fixed-width context features per item: its KG attribute entities
+        (head-side triplets of the aligned entity), dummy-padded."""
+        kg = dataset.kg
+        alignment = dataset.item_to_entity
+        by_head: dict = {}
+        for head, tail in zip(kg.heads.tolist(), kg.tails.tolist()):
+            by_head.setdefault(head, []).append(tail)
+        context = np.full((self.num_items, self.context_size), self._dummy,
+                          dtype=np.int64)
+        for item in range(self.num_items):
+            entity = int(alignment[item]) if alignment is not None else item
+            if entity < 0:
+                continue
+            attrs = by_head.get(entity, [])
+            chosen = attrs[:self.context_size]
+            context[item, :len(chosen)] = np.asarray(chosen) + self._entity_offset
+        return context
+
+    def _pair_features(self, users: np.ndarray, items: np.ndarray) -> np.ndarray:
+        """(B, 2 + context_size) feature id matrix for the pairs."""
+        return np.column_stack([
+            users,
+            items + self._item_offset,
+            self._item_context[items],
+        ])
+
+    # ------------------------------------------------------------------
+    def pair_scores(self, users: np.ndarray, items: np.ndarray) -> Tensor:
+        features = self._pair_features(users, items)
+        batch, width = features.shape
+        segments = np.repeat(np.arange(batch), width)
+        flat = features.ravel()
+
+        vectors = gather_rows(self.feature_embedding, flat)      # (B*F, d)
+        sum_vec = segment_sum(vectors, segments, batch)          # (B, d)
+        sum_sq = segment_sum(vectors * vectors, segments, batch)
+        pairwise = ((sum_vec * sum_vec - sum_sq) * 0.5).sum(axis=1)
+
+        weights = gather_rows(self.feature_weight, flat)         # (B*F,)
+        linear = segment_sum(weights, segments, batch)
+        return pairwise + linear + self.global_bias
+
+    def score_users(self, users: Sequence[int]) -> np.ndarray:
+        """Closed-form all-item scoring from precomputable item sums."""
+        embeddings = self.feature_embedding.data
+        weights = self.feature_weight.data
+        item_features = np.column_stack([
+            np.arange(self.num_items) + self._item_offset,
+            self._item_context,
+        ])
+        item_sum = embeddings[item_features].sum(axis=1)          # (I, d)
+        item_sq = (embeddings[item_features] ** 2).sum(axis=1)    # (I, d)
+        item_linear = weights[item_features].sum(axis=1)          # (I,)
+        item_const = 0.5 * (item_sum**2 - item_sq).sum(axis=1) + item_linear
+
+        scores = np.empty((len(users), self.num_items))
+        for row, user in enumerate(users):
+            user_vec = embeddings[user]
+            scores[row] = (item_sum @ user_vec + item_const
+                           + weights[user] + self.global_bias.data[0])
+        return scores
+
+
+class NFM(FM):
+    """Neural Factorization Machine (He & Chua, 2017).
+
+    Replaces FM's scalar pairwise term with the bi-interaction vector
+    ``0.5[(Σv)^2 - Σv^2]`` passed through a one-hidden-layer MLP.
+    """
+
+    name = "NFM"
+
+    def __init__(self, config: Optional[BaselineConfig] = None,
+                 context_size: int = 4, hidden_dim: int = 32):
+        super().__init__(config, context_size=context_size)
+        self.hidden_dim = hidden_dim
+
+    def build(self, split: Split) -> None:
+        super().build(split)
+        self.mlp_hidden = Linear(self.config.dim, self.hidden_dim, rng=self.rng)
+        self.mlp_out = Parameter(
+            self.rng.normal(0, 1.0 / np.sqrt(self.hidden_dim),
+                            size=self.hidden_dim),
+            name="mlp_out")
+
+    def pair_scores(self, users: np.ndarray, items: np.ndarray) -> Tensor:
+        features = self._pair_features(users, items)
+        batch, width = features.shape
+        segments = np.repeat(np.arange(batch), width)
+        flat = features.ravel()
+
+        vectors = gather_rows(self.feature_embedding, flat)
+        sum_vec = segment_sum(vectors, segments, batch)
+        sum_sq = segment_sum(vectors * vectors, segments, batch)
+        bi_interaction = (sum_vec * sum_vec - sum_sq) * 0.5      # (B, d)
+        deep = self.mlp_hidden(bi_interaction).relu() @ self.mlp_out
+
+        weights = gather_rows(self.feature_weight, flat)
+        linear = segment_sum(weights, segments, batch)
+        return deep + linear + self.global_bias
+
+    def score_users(self, users: Sequence[int]) -> np.ndarray:
+        embeddings = self.feature_embedding.data
+        weights = self.feature_weight.data
+        item_features = np.column_stack([
+            np.arange(self.num_items) + self._item_offset,
+            self._item_context,
+        ])
+        item_sum = embeddings[item_features].sum(axis=1)
+        item_sq = (embeddings[item_features] ** 2).sum(axis=1)
+        item_linear = weights[item_features].sum(axis=1)
+
+        w_hidden = self.mlp_hidden.weight.data
+        b_hidden = self.mlp_hidden.bias.data
+        out = self.mlp_out.data
+
+        scores = np.empty((len(users), self.num_items))
+        for row, user in enumerate(users):
+            user_vec = embeddings[user]
+            total = user_vec + item_sum                            # (I, d)
+            bi = 0.5 * (total**2 - (user_vec**2 + item_sq))        # (I, d)
+            hidden = np.maximum(bi @ w_hidden.T + b_hidden, 0.0)
+            scores[row] = (hidden @ out + item_linear + weights[user]
+                           + self.global_bias.data[0])
+        return scores

@@ -1,0 +1,181 @@
+"""KGNN-LS (Wang et al., KDD 2019) — the KGNN-LS row of Tables III-V.
+
+Computes *user-specific* item representations with a GNN over the KG:
+edge weights are the user's affinity to the edge relation
+(``s_u(r) = u · r``, softmax-normalized over each node's sampled
+neighbors), aggregated for ``H`` hops; the score is ``u · h_v^H``.
+
+The label-smoothness regularizer is implemented as the Dirichlet energy
+of the user's interaction labels over the user-specific adjacency —
+penalizing edges that connect an interacted item-entity to a
+non-interacted one with high weight — which is the leave-one-out
+label-propagation objective of the paper in its energy form.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence
+
+import numpy as np
+
+from ..autodiff import (Embedding, Linear, Tensor, gather_rows,
+                        segment_softmax, segment_sum)
+from ..data import Split
+from .base import BaselineConfig, BPRModelRecommender, sample_fixed_neighbors
+
+
+class KGNNLS(BPRModelRecommender):
+    """KGNN-LS with sampled fixed-size neighborhoods.
+
+    Parameters
+    ----------
+    num_hops:
+        Receptive-field depth ``H``.
+    neighbor_size:
+        Neighbors sampled per entity.
+    ls_weight:
+        Strength of the label-smoothness regularizer.
+    """
+
+    name = "KGNN-LS"
+
+    def __init__(self, config: Optional[BaselineConfig] = None,
+                 num_hops: int = 2, neighbor_size: int = 8,
+                 ls_weight: float = 0.1):
+        super().__init__(config)
+        self.num_hops = num_hops
+        self.neighbor_size = neighbor_size
+        self.ls_weight = ls_weight
+
+    # ------------------------------------------------------------------
+    def build(self, split: Split) -> None:
+        dataset = split.dataset
+        dim = self.config.dim
+        self.user_embedding = Embedding(dataset.num_users, dim, rng=self.rng)
+        self.entity_embedding = Embedding(dataset.kg.num_entities, dim, rng=self.rng)
+        self.relation_embedding = Embedding(dataset.kg.num_relations, dim, rng=self.rng)
+        self.transforms = [Linear(dim, dim, rng=self.rng)
+                           for _ in range(self.num_hops)]
+
+        alignment = dataset.item_to_entity
+        self._item_entity = (np.asarray(alignment, dtype=np.int64)
+                             if alignment is not None
+                             else np.arange(dataset.num_items, dtype=np.int64))
+        self._neighbors, self._neighbor_relations = self._sample_adjacency(dataset.kg)
+        # label table for LS: entity -> item (or -1)
+        self._entity_item = np.full(dataset.kg.num_entities, -1, dtype=np.int64)
+        valid = self._item_entity >= 0
+        self._entity_item[self._item_entity[valid]] = np.flatnonzero(valid)
+
+    def _sample_adjacency(self, kg):
+        """Fixed-size sampled (neighbor, relation) arrays per entity.
+
+        Isolated entities self-loop with relation 0.
+        """
+        by_head: Dict[int, list] = {}
+        for head, relation, tail in zip(kg.heads.tolist(), kg.relations.tolist(),
+                                        kg.tails.tolist()):
+            by_head.setdefault(head, []).append((tail, relation))
+            by_head.setdefault(tail, []).append((head, relation))
+        neighbors = np.zeros((kg.num_entities, self.neighbor_size), dtype=np.int64)
+        relations = np.zeros((kg.num_entities, self.neighbor_size), dtype=np.int64)
+        for entity in range(kg.num_entities):
+            pairs = by_head.get(entity)
+            if not pairs:
+                neighbors[entity] = entity
+                continue
+            ids = sample_fixed_neighbors(self.rng, np.arange(len(pairs)),
+                                         self.neighbor_size)
+            neighbors[entity] = [pairs[i][0] for i in ids]
+            relations[entity] = [pairs[i][1] for i in ids]
+        return neighbors, relations
+
+    # ------------------------------------------------------------------
+    def _item_representation(self, users: np.ndarray, items: np.ndarray) -> Tensor:
+        """User-specific item encodings via relation-weighted aggregation.
+
+        One simplification versus the original: instead of unrolling the
+        full ``H``-hop receptive-field tree, each hop re-aggregates every
+        needed entity's sampled neighborhood (same fixed samples), which
+        yields the same receptive field with shared intermediate states.
+        """
+        entities = np.where(self._item_entity[items] >= 0,
+                            self._item_entity[items], 0)
+        batch = users.size
+        user_vectors = self.user_embedding(users)                # (B, d)
+
+        # Frontier: per pair, the item entity and its sampled tree flattened
+        # breadth-first.  We aggregate bottom-up.
+        layers = [entities]
+        for _ in range(self.num_hops):
+            layers.append(self._neighbors[layers[-1]].reshape(batch, -1))
+        # layers[h] shape: (B, neighbor_size**h)
+
+        hidden = self.entity_embedding(layers[-1].ravel())
+        width = layers[-1].shape[1]
+        for hop in range(self.num_hops - 1, -1, -1):
+            parent = layers[hop]
+            parent_width = parent.shape[1] if parent.ndim == 2 else 1
+            parent_flat = parent.reshape(batch, parent_width)
+            relations = self._neighbor_relations[parent_flat.ravel()].ravel()
+            rel_vectors = self.relation_embedding(relations)     # (B*pw*ns, d)
+
+            users_expanded = gather_rows(
+                user_vectors, np.repeat(np.arange(batch), parent_width * self.neighbor_size))
+            affinity = (users_expanded * rel_vectors).sum(axis=1)
+            segments = np.repeat(np.arange(batch * parent_width), self.neighbor_size)
+            weights = segment_softmax(affinity, segments, batch * parent_width)
+
+            aggregated = segment_sum(hidden * weights.reshape(-1, 1),
+                                     segments, batch * parent_width)
+            parent_emb = self.entity_embedding(parent_flat.ravel())
+            hidden = self.transforms[hop](parent_emb + aggregated).relu()
+            width = parent_width
+        return hidden                                            # (B, d)
+
+    def pair_scores(self, users: np.ndarray, items: np.ndarray) -> Tensor:
+        item_repr = self._item_representation(users, items)
+        user_vectors = self.user_embedding(users)
+        return (user_vectors * item_repr).sum(axis=1)
+
+    def extra_loss(self, users, pos, neg) -> Optional[Tensor]:
+        """Label-smoothness: Dirichlet energy of interaction labels under
+        the user-specific edge weights ``sigmoid(u · r)``."""
+        if self.ls_weight <= 0:
+            return None
+        kg = self.split.dataset.kg
+        sample = self.rng.integers(0, kg.num_triplets,
+                                   size=min(128, kg.num_triplets))
+        heads = kg.heads[sample]
+        relations = kg.relations[sample]
+        tails = kg.tails[sample]
+
+        batch_users = users[self.rng.integers(0, users.size, size=sample.size)]
+        user_vectors = self.user_embedding(batch_users)
+        rel_vectors = self.relation_embedding(relations)
+        weights = (user_vectors * rel_vectors).sum(axis=1).sigmoid()
+
+        labels_head = self._labels_for(batch_users, heads)
+        labels_tail = self._labels_for(batch_users, tails)
+        gap = Tensor((labels_head - labels_tail) ** 2)
+        return (weights * gap).mean() * self.ls_weight
+
+    def _labels_for(self, users: np.ndarray, entities: np.ndarray) -> np.ndarray:
+        items = self._entity_item[entities]
+        labels = np.zeros(users.size)
+        for position, (user, item) in enumerate(zip(users, items)):
+            if item >= 0 and self.split.train.has_interaction(int(user), int(item)):
+                labels[position] = 1.0
+        return labels
+
+    # ------------------------------------------------------------------
+    def score_users(self, users: Sequence[int]) -> np.ndarray:
+        num_items = self.split.dataset.num_items
+        scores = np.empty((len(users), num_items))
+        all_items = np.arange(num_items)
+        for row, user in enumerate(users):
+            user_array = np.full(num_items, user, dtype=np.int64)
+            repr_tensor = self._item_representation(user_array, all_items)
+            user_vector = self.user_embedding.weight.data[user]
+            scores[row] = repr_tensor.data @ user_vector
+        return scores

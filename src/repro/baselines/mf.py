@@ -1,0 +1,43 @@
+"""Matrix Factorization trained with BPR (the MF row of Tables III-V).
+
+Pure collaborative filtering: ``ŷ_ui = p_u · q_i`` with user/item
+embedding tables.  Uses only the interaction graph — the KG is ignored —
+so it collapses on new items/users (their embeddings receive no
+gradient), exactly the failure mode Tables IV-V report.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from ..autodiff import Embedding, Tensor, gather_rows
+from ..data import Split
+from .base import BaselineConfig, BPRModelRecommender
+
+
+class MF(BPRModelRecommender):
+    """BPR-MF (Rendle et al., 2009)."""
+
+    name = "MF"
+
+    def __init__(self, config: Optional[BaselineConfig] = None):
+        super().__init__(config)
+        self.user_embedding: Optional[Embedding] = None
+        self.item_embedding: Optional[Embedding] = None
+
+    def build(self, split: Split) -> None:
+        self.user_embedding = Embedding(split.dataset.num_users,
+                                        self.config.dim, rng=self.rng)
+        self.item_embedding = Embedding(split.dataset.num_items,
+                                        self.config.dim, rng=self.rng)
+
+    def pair_scores(self, users: np.ndarray, items: np.ndarray) -> Tensor:
+        user_vectors = self.user_embedding(users)
+        item_vectors = self.item_embedding(items)
+        return (user_vectors * item_vectors).sum(axis=1)
+
+    def score_users(self, users: Sequence[int]) -> np.ndarray:
+        user_matrix = self.user_embedding.weight.data[np.asarray(users)]
+        return user_matrix @ self.item_embedding.weight.data.T

@@ -1,0 +1,48 @@
+"""PPR recommender (§V-C1's first non-embedding baseline).
+
+Scores items directly by their Personalized PageRank mass from the
+user's node over the CKG.  No training; works on new items (they are KG
+nodes) and, when user-side KG links exist, on new users too.  Heuristic,
+so it trails the learned subgraph methods (Tables IV-V).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from ..data import Split
+from ..ppr import personalized_pagerank_batch
+from .base import Recommender
+
+
+class PPRRecommender(Recommender):
+    """Rank items by PPR score from the user's CKG node.
+
+    Parameters
+    ----------
+    alpha / iterations:
+        Power-iteration parameters of Eq. (13).
+    """
+
+    name = "PPR"
+
+    def __init__(self, alpha: float = 0.15, iterations: int = 20):
+        self.alpha = alpha
+        self.iterations = iterations
+        self.ckg = None
+        self._adjacency = None
+
+    def fit(self, split: Split) -> "PPRRecommender":
+        self.ckg = split.dataset.build_ckg(split.train)
+        self._adjacency = self.ckg.normalized_adjacency()
+        return self
+
+    def score_users(self, users: Sequence[int]) -> np.ndarray:
+        if self.ckg is None:
+            raise RuntimeError("fit() must be called first")
+        result = personalized_pagerank_batch(
+            self.ckg, list(users), alpha=self.alpha,
+            iterations=self.iterations, adjacency=self._adjacency)
+        return result.scores[:, self.ckg.item_nodes]

@@ -1,0 +1,162 @@
+"""RippleNet (Wang et al., CIKM 2018) — the RippleNet row of Tables III-V.
+
+Represents a user by "ripple sets": triplets reachable from the user's
+interacted items in 1..H hops through the KG.  For a candidate item
+``v``, each hop attends over its memory triplets (softmax of the
+compatibility between ``v`` and the triplet's head+relation) and emits a
+response ``o_h``; the user vector is the sum of hop responses and the
+score is ``(Σ_h o_h) · v``.
+
+Memories are sampled to a fixed size per hop at fit time, so users whose
+seeds are empty (new users) fall back to zero memories — the failure the
+paper reports in the new-user setting.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..autodiff import Embedding, Tensor, gather_rows, segment_softmax, segment_sum
+from ..data import Split
+from .base import BaselineConfig, BPRModelRecommender, sample_fixed_neighbors
+
+
+class RippleNet(BPRModelRecommender):
+    """RippleNet with additive head-relation attention.
+
+    Parameters
+    ----------
+    num_hops:
+        Ripple propagation depth ``H``.
+    memory_size:
+        Triplets kept per hop per user.
+    """
+
+    name = "RippleNet"
+
+    def __init__(self, config: Optional[BaselineConfig] = None,
+                 num_hops: int = 2, memory_size: int = 16):
+        super().__init__(config)
+        self.num_hops = num_hops
+        self.memory_size = memory_size
+
+    # ------------------------------------------------------------------
+    def build(self, split: Split) -> None:
+        dataset = split.dataset
+        dim = self.config.dim
+        self.entity_embedding = Embedding(dataset.kg.num_entities, dim, rng=self.rng)
+        self.relation_embedding = Embedding(dataset.kg.num_relations, dim, rng=self.rng)
+
+        alignment = dataset.item_to_entity
+        self._item_entity = (np.asarray(alignment, dtype=np.int64)
+                             if alignment is not None
+                             else np.arange(dataset.num_items, dtype=np.int64))
+        self._triplets_by_head = self._index_kg(dataset.kg)
+        self._memories = self._build_ripple_sets(split)
+
+    def _index_kg(self, kg) -> Dict[int, np.ndarray]:
+        by_head: Dict[int, List[int]] = {}
+        for index, head in enumerate(kg.heads.tolist()):
+            by_head.setdefault(head, []).append(index)
+        return {head: np.asarray(ids, dtype=np.int64)
+                for head, ids in by_head.items()}
+
+    def _build_ripple_sets(self, split: Split) -> Dict[int, np.ndarray]:
+        """Per user: array (num_hops, 3, memory_size) of (h, r, t) memories."""
+        kg = split.dataset.kg
+        memories: Dict[int, np.ndarray] = {}
+        for user in range(split.dataset.num_users):
+            seeds = [int(self._item_entity[item])
+                     for item in split.train.positives(user)
+                     if self._item_entity[item] >= 0]
+            user_memory = np.zeros((self.num_hops, 3, self.memory_size),
+                                   dtype=np.int64)
+            frontier = np.asarray(seeds, dtype=np.int64)
+            valid = False
+            for hop in range(self.num_hops):
+                triplet_ids = np.concatenate(
+                    [self._triplets_by_head.get(int(e), np.empty(0, dtype=np.int64))
+                     for e in frontier]) if frontier.size else np.empty(0, dtype=np.int64)
+                if triplet_ids.size == 0:
+                    break
+                chosen = sample_fixed_neighbors(self.rng, triplet_ids,
+                                                self.memory_size)
+                user_memory[hop, 0] = kg.heads[chosen]
+                user_memory[hop, 1] = kg.relations[chosen]
+                user_memory[hop, 2] = kg.tails[chosen]
+                frontier = np.unique(kg.tails[chosen])
+                valid = True
+            if valid:
+                memories[user] = user_memory
+        return memories
+
+    # ------------------------------------------------------------------
+    def _item_vectors(self, items: np.ndarray) -> Tensor:
+        entities = self._item_entity[items]
+        safe = np.where(entities >= 0, entities, 0)
+        vectors = gather_rows(self.entity_embedding.weight, safe)
+        mask = Tensor((entities >= 0).astype(np.float64).reshape(-1, 1))
+        return vectors * mask
+
+    def pair_scores(self, users: np.ndarray, items: np.ndarray) -> Tensor:
+        item_vectors = self._item_vectors(items)            # (B, d)
+        user_vectors = self._user_vectors(users, item_vectors)
+        return (user_vectors * item_vectors).sum(axis=1)
+
+    def _user_vectors(self, users: np.ndarray, item_vectors: Tensor) -> Tensor:
+        """Sum of hop responses, each an attention readout over memories."""
+        batch = users.size
+        memory = np.stack([
+            self._memories.get(int(user),
+                               np.zeros((self.num_hops, 3, self.memory_size),
+                                        dtype=np.int64))
+            for user in users
+        ])                                                   # (B, H, 3, M)
+        has_memory = np.asarray([int(user) in self._memories for user in users],
+                                dtype=np.float64)
+        segments = np.repeat(np.arange(batch), self.memory_size)
+
+        total: Optional[Tensor] = None
+        item_expanded = gather_rows(item_vectors, segments)   # (B*M, d)
+        for hop in range(self.num_hops):
+            heads = memory[:, hop, 0].ravel()
+            relations = memory[:, hop, 1].ravel()
+            tails = memory[:, hop, 2].ravel()
+            h = self.entity_embedding(heads)
+            r = self.relation_embedding(relations)
+            t = self.entity_embedding(tails)
+            compatibility = (item_expanded * (h + r)).sum(axis=1)  # (B*M,)
+            attention = segment_softmax(compatibility, segments, batch)
+            response = segment_sum(t * attention.reshape(-1, 1), segments, batch)
+            total = response if total is None else total + response
+        return total * Tensor(has_memory.reshape(-1, 1))
+
+    # ------------------------------------------------------------------
+    def score_users(self, users: Sequence[int]) -> np.ndarray:
+        """All-item scoring with numpy (attention depends on the item)."""
+        entities = self.entity_embedding.weight.data
+        relations = self.relation_embedding.weight.data
+        num_items = self.split.dataset.num_items
+        item_entities = self._item_entity[:num_items]
+        item_matrix = np.where((item_entities >= 0)[:, None],
+                               entities[np.maximum(item_entities, 0)], 0.0)
+
+        scores = np.zeros((len(users), num_items))
+        for row, user in enumerate(users):
+            memory = self._memories.get(int(user))
+            if memory is None:
+                continue
+            user_repr = np.zeros((num_items, item_matrix.shape[1]))
+            for hop in range(self.num_hops):
+                h = entities[memory[hop, 0]]
+                r = relations[memory[hop, 1]]
+                t = entities[memory[hop, 2]]
+                logits = item_matrix @ (h + r).T                # (I, M)
+                logits -= logits.max(axis=1, keepdims=True)
+                weights = np.exp(logits)
+                weights /= weights.sum(axis=1, keepdims=True)
+                user_repr += weights @ t
+            scores[row] = (user_repr * item_matrix).sum(axis=1)
+        return scores

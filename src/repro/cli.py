@@ -1,0 +1,85 @@
+"""Command-line interface: regenerate paper experiments from the shell.
+
+Usage::
+
+    python -m repro list
+    python -m repro run table3 [--profile quick|full] [--output DIR]
+    python -m repro datasets --output DIR [--scale 1.0]
+
+``run`` executes one experiment runner (a paper table or figure) and
+prints the measured-vs-paper rows; ``datasets`` materializes the four
+synthetic datasets as TSV directories.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the ``repro`` argument parser (list / run / datasets)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="KUCNet reproduction — experiment runner CLI")
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    commands.add_parser("list", help="list available experiments")
+
+    run = commands.add_parser("run", help="run one experiment")
+    run.add_argument("experiment", help="experiment id, e.g. table3 or fig5")
+    run.add_argument("--profile", default=None, choices=["quick", "full"],
+                     help="execution profile (default: REPRO_PROFILE or quick)")
+    run.add_argument("--output", default=None,
+                     help="directory to save the markdown rendering")
+
+    datasets = commands.add_parser("datasets",
+                                   help="generate the synthetic datasets")
+    datasets.add_argument("--output", required=True,
+                          help="directory to write TSV dataset folders into")
+    datasets.add_argument("--scale", type=float, default=1.0)
+    datasets.add_argument("--seed", type=int, default=0)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    args = build_parser().parse_args(argv)
+
+    if args.command == "list":
+        from .experiments import EXPERIMENTS
+        for name, runner in EXPERIMENTS.items():
+            doc = (runner.__doc__ or "").strip().splitlines()[0]
+            print(f"{name:8s} {doc}")
+        return 0
+
+    if args.command == "run":
+        from .experiments import EXPERIMENTS, PROFILES, active_profile
+        if args.experiment not in EXPERIMENTS:
+            print(f"unknown experiment {args.experiment!r}; "
+                  f"choose from {sorted(EXPERIMENTS)}", file=sys.stderr)
+            return 2
+        profile = PROFILES[args.profile] if args.profile else active_profile()
+        result = EXPERIMENTS[args.experiment](profile)
+        print(result.render())
+        if args.output:
+            path = result.save(args.output, args.experiment)
+            print(f"[saved {path}]")
+        return 0
+
+    if args.command == "datasets":
+        import os
+        from .data import PRESETS, save_dataset
+        for name, maker in PRESETS.items():
+            dataset = maker(seed=args.seed, scale=args.scale)
+            directory = os.path.join(args.output, name)
+            save_dataset(dataset, directory)
+            print(f"wrote {directory}: {dataset.statistics()}")
+        return 0
+
+    return 2
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

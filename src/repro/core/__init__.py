@@ -1,0 +1,16 @@
+"""KUCNet core: model, layers, trainer, variants, explanations."""
+
+from .explain import ExplanationEdge, explain, render_explanation
+from .layers import AttentionMessagePassing
+from .model import KUCNet, KUCNetConfig, Propagation
+from .trainer import EpochStats, KUCNetRecommender, TrainConfig
+from .variants import (kucnet_adaptive, kucnet_full, kucnet_no_attention,
+                       kucnet_no_ppr, kucnet_random)
+
+__all__ = [
+    "KUCNet", "KUCNetConfig", "Propagation", "AttentionMessagePassing",
+    "KUCNetRecommender", "TrainConfig", "EpochStats",
+    "explain", "render_explanation", "ExplanationEdge",
+    "kucnet_full", "kucnet_random", "kucnet_no_attention", "kucnet_no_ppr",
+    "kucnet_adaptive",
+]

@@ -1,0 +1,141 @@
+"""The KUCNet model (Algorithm 1 of the paper).
+
+Given a layered :class:`~repro.sampling.ComputationGraph` for a batch of
+users, the model initializes ``h^0_{u:u} = 0``, runs ``L`` attention
+message-passing layers (Eq. 5-6), and reads out pair scores with a linear
+map ``ŷ_ui = w^T h^L_{u:i}`` (Eq. 7).  Items the propagation never
+reaches score exactly 0, as in Algorithm 1's final step.
+
+Because representations are *relative* (propagated from the user, never
+looked up from a node-embedding table), the same parameters score new
+items and new users without retraining — the property behind Tables IV-V.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..autodiff import Module, Parameter, Tensor, gather_rows
+from ..autodiff import init as ad_init
+from ..sampling import ComputationGraph
+from .layers import AttentionMessagePassing
+
+
+@dataclass
+class KUCNetConfig:
+    """Hyper-parameters of KUCNet (§V-A3 ranges)."""
+
+    dim: int = 48
+    attn_dim: int = 5
+    depth: int = 3
+    activation: str = "relu"
+    dropout: float = 0.0
+    use_attention: bool = True
+    seed: int = 0
+
+
+@dataclass
+class Propagation:
+    """Result of a forward pass over a computation graph.
+
+    ``hidden[l]`` holds the states of layer ``l``'s node table;
+    ``attention[l]`` the per-edge attention weights of layer ``l + 1``'s
+    edges (numpy copies, used by the explanation extractor of §V-F).
+    """
+
+    graph: ComputationGraph
+    hidden: List[Tensor]
+    attention: List[np.ndarray]
+
+
+class KUCNet(Module):
+    """Knowledge-enhanced User-Centric subgraph Network.
+
+    Parameters
+    ----------
+    num_relations:
+        Total CKG relation count (reverse twins included).
+    config:
+        Model hyper-parameters.
+    """
+
+    def __init__(self, num_relations: int, config: Optional[KUCNetConfig] = None):
+        super().__init__()
+        self.config = config or KUCNetConfig()
+        rng = np.random.default_rng(self.config.seed)
+        self.layers = [
+            AttentionMessagePassing(
+                dim=self.config.dim,
+                attn_dim=self.config.attn_dim,
+                num_relations=num_relations,
+                activation=self.config.activation,
+                use_attention=self.config.use_attention,
+                dropout=self.config.dropout,
+                rng=rng,
+            )
+            for _ in range(self.config.depth)
+        ]
+        self.readout = Parameter(
+            ad_init.xavier_uniform((self.config.dim,), rng=rng), name="readout")
+
+    # ------------------------------------------------------------------
+    def propagate(self, graph: ComputationGraph) -> Propagation:
+        """Run ``L`` layers of message passing over ``graph``.
+
+        The graph's depth must equal the model's configured depth.
+        """
+        if graph.depth != self.config.depth:
+            raise ValueError(
+                f"graph depth {graph.depth} != model depth {self.config.depth}"
+            )
+        # h^0 = 0 for the user rows (Algorithm 1 line 1).
+        hidden: List[Tensor] = [Tensor(np.zeros((graph.layer_size(0), self.config.dim)))]
+        attention: List[np.ndarray] = []
+        for level, layer in enumerate(self.layers, start=1):
+            state, alpha = layer(hidden[-1], graph.layers[level - 1],
+                                 graph.layer_size(level))
+            hidden.append(state)
+            attention.append(alpha)
+        return Propagation(graph=graph, hidden=hidden, attention=attention)
+
+    # ------------------------------------------------------------------
+    def pair_scores(self, propagation: Propagation, slots: np.ndarray,
+                    item_nodes: np.ndarray) -> Tensor:
+        """Differentiable scores ``ŷ`` for (slot, item-node) pairs (Eq. 7).
+
+        Pairs whose item was not reached score exactly 0 (their gradient
+        path is masked out), matching Algorithm 1.
+        """
+        graph = propagation.graph
+        final_hidden = propagation.hidden[-1]
+        rows = graph.rows_for_pairs(graph.depth, slots, item_nodes)
+        found = rows >= 0
+        safe_rows = np.where(found, rows, 0)
+        gathered = gather_rows(final_hidden, safe_rows)
+        scores = gathered @ self.readout
+        mask = Tensor(found.astype(np.float64))
+        return scores * mask
+
+    def score_all_items(self, propagation: Propagation,
+                        item_nodes: np.ndarray) -> np.ndarray:
+        """Inference-time scores of shape ``(num_slots, num_items)``.
+
+        ``item_nodes[i]`` is the CKG node of item ``i``.  Unreached items
+        score 0.  No gradients are tracked.
+        """
+        graph = propagation.graph
+        final_hidden = propagation.hidden[-1].data
+        values = final_hidden @ self.readout.data
+
+        node_to_item = np.full(graph.num_ckg_nodes, -1, dtype=np.int64)
+        node_to_item[item_nodes] = np.arange(item_nodes.size)
+
+        scores = np.zeros((graph.num_users, item_nodes.size))
+        last = graph.depth
+        row_items = node_to_item[graph.nodes[last]]
+        keep = row_items >= 0
+        scores[graph.slots[last][keep], row_items[keep]] = values[keep]
+        return scores

@@ -1,0 +1,383 @@
+"""Training and inference driver for KUCNet (§IV-D of the paper).
+
+:class:`KUCNetRecommender` packages the full pipeline:
+
+1. build the CKG over the *training* interactions;
+2. precompute PPR scores for every user (the one-time preprocessing of
+   Table VI);
+3. optimize the BPR loss (Eq. 14) with Adam over (user, i+, i-) triplets,
+   evaluating whole user batches on their shared pruned user-centric
+   computation graphs;
+4. score all items per user for the all-ranking evaluation.
+
+Variants (Table IX / Fig. 6) are selected by configuration:
+
+* ``sampler="random"`` → KUCNet-random;
+* ``use_attention=False`` → KUCNet-w.o.-Attn;
+* ``k=None`` → KUCNet-w.o.-PPR (no pruning).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..autodiff import Adam, bpr_loss
+from ..data import Split
+from ..graph import CollaborativeKG
+from ..ppr import personalized_pagerank_batch
+from ..sampling import ComputationGraph, build_user_centric_graph
+from .model import KUCNet, KUCNetConfig, Propagation
+
+
+@dataclass
+class TrainConfig:
+    """Optimization hyper-parameters (§V-A3 search ranges)."""
+
+    epochs: int = 12
+    batch_users: int = 24
+    #: (i+, i-) pairs sampled per user per epoch
+    pairs_per_user: int = 4
+    learning_rate: float = 5e-3
+    weight_decay: float = 1e-5
+    #: PPR top-K edge budget per head node; ``None`` disables pruning.
+    #: A sequence of per-layer budgets (length ``depth``) selects an
+    #: AdaProp-style adaptive propagation schedule (the paper's [40]).
+    k: Optional[int] = 20
+    sampler: str = "ppr"
+    ppr_alpha: float = 0.15
+    ppr_iterations: int = 20
+    #: rank pruned edges by ``r_u[v] / deg(v)`` instead of raw PPR mass.
+    #: On the symmetrized CKG, walk reversibility makes the
+    #: degree-normalized score proportional to the probability that a
+    #: walk *from v* reaches u — i.e. the "importance of other nodes to
+    #: the target node" the paper asks PPR for (§II-A) — whereas raw
+    #: mass is confounded by global popularity.  Markedly better in the
+    #: new-item setting (see EXPERIMENTS.md).
+    ppr_degree_normalized: bool = True
+    seed: int = 0
+    verbose: bool = False
+    #: stop early when the epoch loss has not improved for this many
+    #: epochs (``None`` disables).  The paper selects hyper-parameters by
+    #: training loss with a 30-epoch cap (§V-A3); this implements the
+    #: corresponding loss-plateau stopping rule.
+    patience: Optional[int] = None
+    #: minimum relative loss improvement that resets the patience counter
+    min_improvement: float = 1e-3
+
+
+@dataclass
+class EpochStats:
+    """Per-epoch training telemetry (drives the Fig. 4 learning curves)."""
+
+    epoch: int
+    loss: float
+    seconds: float
+    cumulative_seconds: float
+
+
+class KUCNetRecommender:
+    """End-to-end KUCNet: ``fit`` on a split, then ``score_users``.
+
+    Parameters
+    ----------
+    model_config / train_config:
+        Hyper-parameters; defaults follow the paper's common settings
+        (L=3, PPR pruning, Adam + BPR).
+    """
+
+    def __init__(self, model_config: Optional[KUCNetConfig] = None,
+                 train_config: Optional[TrainConfig] = None):
+        self.model_config = model_config or KUCNetConfig()
+        self.train_config = train_config or TrainConfig()
+        self.model: Optional[KUCNet] = None
+        self.ckg: Optional[CollaborativeKG] = None
+        self.ppr_scores: Optional[np.ndarray] = None  # (num_users, num_nodes)
+        self.history: List[EpochStats] = []
+        self.ppr_seconds: float = 0.0
+        self._graph_cache: Dict[Tuple[int, ...], ComputationGraph] = {}
+        self._rng = np.random.default_rng(self.train_config.seed)
+
+    # ------------------------------------------------------------------
+    def prepare(self, split: Split) -> None:
+        """Build the CKG and PPR scores without training (preprocessing)."""
+        self.ckg = split.dataset.build_ckg(split.train)
+        started = time.perf_counter()
+        ppr = personalized_pagerank_batch(
+            self.ckg, list(range(self.ckg.num_users)),
+            alpha=self.train_config.ppr_alpha,
+            iterations=self.train_config.ppr_iterations,
+        )
+        self.ppr_seconds = time.perf_counter() - started
+        self.ppr_scores = ppr.scores
+        if self.train_config.ppr_degree_normalized:
+            degrees = np.diff(self.ckg.indptr).astype(np.float64)
+            self.ppr_scores = self.ppr_scores / np.maximum(degrees, 1.0)[None, :]
+        self.model = KUCNet(self.ckg.num_relations, self.model_config)
+        self._graph_cache.clear()
+        self._split = split
+        self._train_item_pool = np.unique(split.train.items)
+
+    def fit(self, split: Split,
+            callback: Optional[Callable[[EpochStats], None]] = None) -> "KUCNetRecommender":
+        """Train with BPR (Eq. 14); ``callback`` fires after each epoch."""
+        self.prepare(split)
+        config = self.train_config
+        optimizer = Adam(self.model.parameters(), lr=config.learning_rate,
+                         weight_decay=config.weight_decay)
+
+        train_users = [user for user in split.train.users_with_interactions()]
+        self.history = []
+        cumulative = 0.0
+        best_loss = np.inf
+        stale_epochs = 0
+        for epoch in range(config.epochs):
+            started = time.perf_counter()
+            order = self._rng.permutation(len(train_users))
+            losses = []
+            for start in range(0, len(train_users), config.batch_users):
+                batch = [train_users[index]
+                         for index in order[start:start + config.batch_users]]
+                loss_value = self._train_batch(batch, split, optimizer)
+                if loss_value is not None:
+                    losses.append(loss_value)
+            seconds = time.perf_counter() - started
+            cumulative += seconds
+            stats = EpochStats(epoch=epoch,
+                               loss=float(np.mean(losses)) if losses else 0.0,
+                               seconds=seconds, cumulative_seconds=cumulative)
+            self.history.append(stats)
+            if config.verbose:
+                print(f"epoch {epoch}: loss={stats.loss:.4f} ({seconds:.1f}s)")
+            if callback is not None:
+                callback(stats)
+            if config.patience is not None:
+                if stats.loss < best_loss * (1.0 - config.min_improvement):
+                    best_loss = stats.loss
+                    stale_epochs = 0
+                else:
+                    stale_epochs += 1
+                    if stale_epochs >= config.patience:
+                        break
+        return self
+
+    def _train_batch(self, users: Sequence[int], split: Split,
+                     optimizer: Adam) -> Optional[float]:
+        config = self.train_config
+        graph = self._graph_for(tuple(users))
+        self.model.train()
+        propagation = self.model.propagate(graph)
+
+        slots, pos_nodes, neg_nodes = self._sample_pairs(users, split)
+        if slots.size == 0:
+            return None
+        pos_scores = self.model.pair_scores(propagation, slots, pos_nodes)
+        neg_scores = self.model.pair_scores(propagation, slots, neg_nodes)
+        loss = bpr_loss(pos_scores, neg_scores)
+
+        optimizer.zero_grad()
+        loss.backward()
+        optimizer.step()
+        return loss.item()
+
+    def _sample_pairs(self, users: Sequence[int], split: Split):
+        """Sample (slot, i+, i-) training triplets for a user batch.
+
+        Negatives are drawn from the *training item pool* (items with at
+        least one observed interaction), the standard BPR practice; items
+        that only exist in the KG are never pushed down, which matters in
+        the new-item setting (§V-C) where such items are the test set.
+        """
+        config = self.train_config
+        if not hasattr(self, "_train_item_pool"):
+            self._train_item_pool = np.unique(split.train.items)
+        pool = self._train_item_pool
+        slots: List[int] = []
+        positives: List[int] = []
+        negatives: List[int] = []
+        for slot, user in enumerate(users):
+            user_positives = sorted(split.train.positives(user))
+            if not user_positives:
+                continue
+            for _ in range(config.pairs_per_user):
+                positive = int(self._rng.choice(user_positives))
+                negative = int(pool[self._rng.integers(pool.size)])
+                while split.train.has_interaction(user, negative):
+                    negative = int(pool[self._rng.integers(pool.size)])
+                slots.append(slot)
+                positives.append(positive)
+                negatives.append(negative)
+        slots_array = np.asarray(slots, dtype=np.int64)
+        pos_nodes = self.ckg.item_nodes[np.asarray(positives, dtype=np.int64)] \
+            if positives else np.empty(0, dtype=np.int64)
+        neg_nodes = self.ckg.item_nodes[np.asarray(negatives, dtype=np.int64)] \
+            if negatives else np.empty(0, dtype=np.int64)
+        return slots_array, pos_nodes, neg_nodes
+
+    def _graph_for(self, users: Tuple[int, ...]) -> ComputationGraph:
+        """Pruned user-centric computation graph, cached per user batch.
+
+        Graphs are deterministic for the PPR sampler, so caching across
+        epochs is exact; for the random sampler each call resamples.
+        """
+        if self.train_config.sampler == "random":
+            return build_user_centric_graph(
+                self.ckg, list(users), depth=self.model_config.depth,
+                k=self.train_config.k, sampler="random", rng=self._rng)
+        cached = self._graph_cache.get(users)
+        if cached is None:
+            cached = build_user_centric_graph(
+                self.ckg, list(users), depth=self.model_config.depth,
+                ppr_scores=self.ppr_scores[list(users)],
+                k=self.train_config.k, sampler="ppr")
+            self._graph_cache[users] = cached
+        return cached
+
+    # ------------------------------------------------------------------
+    def score_users(self, users: Sequence[int], k: Optional[int] = "default") -> np.ndarray:
+        """All-item scores for ``users`` (rows align with input order).
+
+        ``k`` overrides the pruning budget for this call: pass ``None``
+        to score on unpruned user-centric graphs (the ``KUCNet-w.o.-PPR``
+        inference mode of Fig. 6).
+        """
+        if self.model is None:
+            raise RuntimeError("fit() or prepare() must be called first")
+        self.model.eval()
+        propagation = self.propagate_users(users, k=k)
+        return self.model.score_all_items(propagation, self.ckg.item_nodes)
+
+    def propagate_users(self, users: Sequence[int],
+                        k: Optional[int] = "default") -> Propagation:
+        """Forward pass over the (pruned) user-centric graphs of ``users``."""
+        users = list(users)
+        if k == "default":
+            k = self.train_config.k
+        graph = build_user_centric_graph(
+            self.ckg, users, depth=self.model_config.depth,
+            ppr_scores=(self.ppr_scores[users]
+                        if self.train_config.sampler == "ppr" and k
+                        else None),
+            k=k,
+            sampler=self.train_config.sampler,
+            rng=self._rng)
+        return self.model.propagate(graph)
+
+    def score_users_via_ui_subgraphs(self, users: Sequence[int],
+                                     items: Optional[Sequence[int]] = None) -> np.ndarray:
+        """Score by encoding each pair's own U-I computation graph.
+
+        This is the direct (expensive) implementation the user-centric
+        graph replaces — the ``KUCNet-UI`` bar of Fig. 6.  One propagation
+        per (user, item) pair.
+        """
+        from ..sampling import build_ui_computation_graph
+
+        if self.model is None:
+            raise RuntimeError("fit() or prepare() must be called first")
+        self.model.eval()
+        item_list = list(items) if items is not None else list(range(self.ckg.num_items))
+        scores = np.zeros((len(users), self.ckg.num_items))
+        for row, user in enumerate(users):
+            for item in item_list:
+                graph = build_ui_computation_graph(self.ckg, int(user), int(item),
+                                                   self.model_config.depth)
+                if graph.layers[-1].num_edges == 0:
+                    continue
+                propagation = self.model.propagate(graph)
+                value = self.model.pair_scores(
+                    propagation, np.zeros(1, dtype=np.int64),
+                    np.asarray([self.ckg.item_node(int(item))]))
+                scores[row, item] = value.data[0]
+        return scores
+
+    def count_inference_edges(self, users: Sequence[int],
+                              mode: str = "pruned") -> int:
+        """Total computation-graph edges to score ``users`` (Fig. 6).
+
+        ``mode``: ``"pruned"`` (KUCNet), ``"full"`` (KUCNet-w.o.-PPR), or
+        ``"ui"`` (sum over per-pair U-I graphs).
+        """
+        from ..sampling import build_ui_computation_graph
+
+        if mode == "ui":
+            total = 0
+            for user in users:
+                for item in range(self.ckg.num_items):
+                    graph = build_ui_computation_graph(
+                        self.ckg, int(user), int(item), self.model_config.depth)
+                    total += graph.total_edges()
+            return total
+        users = list(users)
+        k = self.train_config.k if mode == "pruned" else None
+        graph = build_user_centric_graph(
+            self.ckg, users, depth=self.model_config.depth,
+            ppr_scores=self.ppr_scores[users] if k is not None else None,
+            k=k, sampler="ppr" if k is not None else "ppr")
+        return graph.total_edges()
+
+    @property
+    def name(self) -> str:
+        if not self.model_config.use_attention:
+            return "KUCNet-w.o.-Attn"
+        if self.train_config.k is None:
+            return "KUCNet-w.o.-PPR"
+        if self.train_config.sampler == "random":
+            return "KUCNet-random"
+        return "KUCNet"
+
+    def num_parameters(self) -> int:
+        if self.model is None:
+            raise RuntimeError("fit() or prepare() must be called first")
+        return self.model.num_parameters()
+
+    # ------------------------------------------------------------------
+    # Persistence
+    # ------------------------------------------------------------------
+    def save(self, path: str) -> None:
+        """Persist trained weights and configuration to an ``.npz`` file.
+
+        The graph-side state (CKG, PPR scores) is *not* stored — it is a
+        deterministic function of the split, which :meth:`load` rebuilds.
+        """
+        if self.model is None:
+            raise RuntimeError("fit() or prepare() must be called first")
+        import dataclasses
+        import json
+
+        payload = {f"param::{name}": value
+                   for name, value in self.model.state_dict().items()}
+        payload["config::model"] = np.frombuffer(
+            json.dumps(dataclasses.asdict(self.model_config)).encode(),
+            dtype=np.uint8)
+        train_dict = dataclasses.asdict(self.train_config)
+        if isinstance(train_dict.get("k"), tuple):
+            train_dict["k"] = list(train_dict["k"])
+        payload["config::train"] = np.frombuffer(
+            json.dumps(train_dict).encode(), dtype=np.uint8)
+        np.savez(path, **payload)
+
+    @classmethod
+    def load(cls, path: str, split: Split) -> "KUCNetRecommender":
+        """Restore a recommender saved by :meth:`save`.
+
+        ``split`` must be the (training) split the model was fit on; the
+        CKG and PPR preprocessing are rebuilt from it deterministically.
+        """
+        import json
+
+        with np.load(path) as archive:
+            model_config = json.loads(bytes(archive["config::model"].tobytes()))
+            train_config = json.loads(bytes(archive["config::train"].tobytes()))
+            if isinstance(train_config.get("k"), list):
+                train_config["k"] = tuple(train_config["k"])
+            state = {key[len("param::"):]: archive[key]
+                     for key in archive.files if key.startswith("param::")}
+        recommender = cls(KUCNetConfig(**model_config),
+                          TrainConfig(**train_config))
+        recommender.prepare(split)
+        recommender.model.load_state_dict(state)
+        return recommender

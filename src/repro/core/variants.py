@@ -1,0 +1,70 @@
+"""Factory functions for the KUCNet variants studied in Table IX / Fig. 6.
+
+Each returns a configured :class:`KUCNetRecommender`:
+
+* :func:`kucnet_full` — PPR pruning + attention (the proposed method);
+* :func:`kucnet_random` — random edge sampling instead of PPR (Table IX);
+* :func:`kucnet_no_attention` — attention fixed to 1 (Table IX);
+* :func:`kucnet_no_ppr` — unpruned user-centric graphs (Fig. 6's
+  "KUCNet-w.o.-PPR" cost baseline).
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Optional
+
+from .model import KUCNetConfig
+from .trainer import KUCNetRecommender, TrainConfig
+
+
+def kucnet_full(model_config: Optional[KUCNetConfig] = None,
+                train_config: Optional[TrainConfig] = None) -> KUCNetRecommender:
+    """The proposed KUCNet: PPR top-K pruning + attention messages."""
+    return KUCNetRecommender(model_config or KUCNetConfig(),
+                             train_config or TrainConfig())
+
+
+def kucnet_random(model_config: Optional[KUCNetConfig] = None,
+                  train_config: Optional[TrainConfig] = None) -> KUCNetRecommender:
+    """KUCNet-random: uniform edge sampling replaces PPR scores."""
+    base = train_config or TrainConfig()
+    return KUCNetRecommender(model_config or KUCNetConfig(),
+                             replace(base, sampler="random"))
+
+
+def kucnet_no_attention(model_config: Optional[KUCNetConfig] = None,
+                        train_config: Optional[TrainConfig] = None) -> KUCNetRecommender:
+    """KUCNet-w.o.-Attn: messages aggregated with uniform weights."""
+    base = model_config or KUCNetConfig()
+    return KUCNetRecommender(replace(base, use_attention=False),
+                             train_config or TrainConfig())
+
+
+def kucnet_no_ppr(model_config: Optional[KUCNetConfig] = None,
+                  train_config: Optional[TrainConfig] = None) -> KUCNetRecommender:
+    """KUCNet-w.o.-PPR: full (unpruned) user-centric computation graphs."""
+    base = train_config or TrainConfig()
+    return KUCNetRecommender(model_config or KUCNetConfig(),
+                             replace(base, k=None))
+
+
+def kucnet_adaptive(model_config: Optional[KUCNetConfig] = None,
+                    train_config: Optional[TrainConfig] = None,
+                    schedule: Optional[tuple] = None) -> KUCNetRecommender:
+    """KUCNet with an AdaProp-style per-layer budget schedule ([40]).
+
+    Defaults to a tightening schedule: the first layer keeps the full
+    budget and deeper (exponentially wider) layers get smaller ones,
+    which bounds the multiplicative growth the depth ablation pays for.
+    """
+    model = model_config or KUCNetConfig()
+    base = train_config or TrainConfig()
+    if schedule is None:
+        top = base.k if isinstance(base.k, int) else 20
+        schedule = tuple(max(3, top // (1 << level))
+                         for level in range(model.depth))
+    if len(schedule) != model.depth:
+        raise ValueError(f"schedule length {len(schedule)} != depth "
+                         f"{model.depth}")
+    return KUCNetRecommender(model, replace(base, k=tuple(schedule)))

@@ -1,0 +1,19 @@
+"""Datasets: synthetic generators, splits, and TSV serialization."""
+
+from .dataset import (Dataset, Split, new_item_split, new_user_split,
+                      traditional_split)
+from .io import load_dataset, save_dataset
+from .kgat_format import load_kgat_dataset, save_kgat_dataset
+from .synthetic import (PRESETS, SyntheticConfig, alibaba_ifashion_like,
+                        amazon_book_like, disgenet_like, generate,
+                        lastfm_like)
+
+__all__ = [
+    "Dataset", "Split",
+    "traditional_split", "new_item_split", "new_user_split",
+    "SyntheticConfig", "generate", "PRESETS",
+    "lastfm_like", "amazon_book_like", "alibaba_ifashion_like",
+    "disgenet_like",
+    "save_dataset", "load_dataset",
+    "load_kgat_dataset", "save_kgat_dataset",
+]

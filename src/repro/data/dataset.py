@@ -1,0 +1,193 @@
+"""Dataset container and train/test splits for the three evaluation settings.
+
+The paper evaluates in three regimes:
+
+* **traditional** (§V-B): interactions are split per user; every test item
+  also appears in training (``I_test ⊂ I_train``).
+* **new item** (§V-C): one fifth of the *items* is held out; all their
+  interactions move to the test set and the models can only reach them
+  through the KG.
+* **new user** (§V-D): one fifth of the *users* is held out; their
+  interactions are all test, and models can only reach them through
+  user-side KG links.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+import numpy as np
+
+from ..graph import CollaborativeKG, KnowledgeGraph, UserItemGraph
+
+
+@dataclass
+class Dataset:
+    """A complete recommendation dataset: interactions + KG + alignment.
+
+    Attributes
+    ----------
+    name:
+        Dataset label (e.g. ``lastfm_like``).
+    ui_graph:
+        All observed user-item interactions.
+    kg:
+        Item-side knowledge graph.
+    item_to_entity:
+        Alignment array (``-1`` = unaligned item).
+    user_triplets / num_user_relations:
+        Optional user-side KG (DisGeNet's disease-disease relation).
+    """
+
+    name: str
+    ui_graph: UserItemGraph
+    kg: KnowledgeGraph
+    item_to_entity: Optional[np.ndarray] = None
+    user_triplets: List[Tuple[int, int, int]] = field(default_factory=list)
+    num_user_relations: int = 0
+
+    @property
+    def num_users(self) -> int:
+        return self.ui_graph.num_users
+
+    @property
+    def num_items(self) -> int:
+        return self.ui_graph.num_items
+
+    def build_ckg(self, train_graph: Optional[UserItemGraph] = None) -> CollaborativeKG:
+        """Build the CKG over ``train_graph`` (defaults to all interactions).
+
+        Evaluation-time CKGs must be built over the *training* graph only,
+        so test interactions never leak into message passing.
+        """
+        graph = train_graph if train_graph is not None else self.ui_graph
+        return CollaborativeKG.build(
+            graph, self.kg,
+            item_to_entity=self.item_to_entity,
+            user_triplets=self.user_triplets or None,
+            num_user_relations=self.num_user_relations,
+        )
+
+    def statistics(self) -> Dict[str, int]:
+        """Table II-style dataset statistics."""
+        return {
+            "users": self.num_users,
+            "items": self.num_items,
+            "interactions": self.ui_graph.num_interactions,
+            "entities": self.kg.num_entities,
+            "relations": self.kg.num_relations + (1 if self.num_user_relations else 0) * self.num_user_relations,
+            "triplets": self.kg.num_triplets + len(self.user_triplets),
+        }
+
+
+@dataclass
+class Split:
+    """A train/test division of a dataset.
+
+    ``train`` drives model fitting and CKG construction; ``test_positives``
+    maps each evaluation user to their held-out positive items.
+    ``candidate_items`` restricts ranking to a given item set (used in the
+    new-item setting, where only held-out items are valid candidates).
+    """
+
+    dataset: Dataset
+    train: UserItemGraph
+    test_positives: Dict[int, Set[int]]
+    setting: str
+    candidate_items: Optional[np.ndarray] = None
+
+    @property
+    def test_users(self) -> List[int]:
+        return sorted(self.test_positives)
+
+    def num_test_interactions(self) -> int:
+        return sum(len(items) for items in self.test_positives.values())
+
+
+def traditional_split(dataset: Dataset, test_fraction: float = 0.2,
+                      seed: int = 0) -> Split:
+    """Per-user holdout split (§V-B): every user keeps >= 1 training item.
+
+    Users with a single interaction stay train-only.  Test items are
+    guaranteed to appear in training for some user (items never observed
+    in training are dropped from test, enforcing ``I_test ⊂ I_train``).
+    """
+    if not 0.0 < test_fraction < 1.0:
+        raise ValueError("test_fraction must be in (0, 1)")
+    rng = np.random.default_rng(seed)
+    ui = dataset.ui_graph
+    train_pairs: List[Tuple[int, int]] = []
+    test_map: Dict[int, Set[int]] = {}
+    for user in ui.users_with_interactions():
+        items = sorted(ui.positives(user))
+        if len(items) < 2:
+            train_pairs.extend((user, item) for item in items)
+            continue
+        shuffled = list(items)
+        rng.shuffle(shuffled)
+        num_test = max(1, int(round(len(items) * test_fraction)))
+        num_test = min(num_test, len(items) - 1)
+        held = set(shuffled[:num_test])
+        test_map[user] = held
+        train_pairs.extend((user, item) for item in items if item not in held)
+
+    train = UserItemGraph(ui.num_users, ui.num_items, train_pairs)
+    trained_items = {int(i) for i in train.items}
+    cleaned = {user: {i for i in items if i in trained_items}
+               for user, items in test_map.items()}
+    cleaned = {user: items for user, items in cleaned.items() if items}
+    return Split(dataset=dataset, train=train, test_positives=cleaned,
+                 setting="traditional")
+
+
+def new_item_split(dataset: Dataset, fold: int = 0, num_folds: int = 5,
+                   seed: int = 0) -> Split:
+    """New-item split (§V-C): hold out one fold of *items* entirely.
+
+    All interactions with held-out items become test; the training graph
+    has no edge touching them, so they are reachable only through the KG.
+    Ranking candidates are restricted to the held-out items.
+    """
+    if not 0 <= fold < num_folds:
+        raise ValueError(f"fold must be in [0, {num_folds})")
+    rng = np.random.default_rng(seed)
+    ui = dataset.ui_graph
+    permutation = rng.permutation(ui.num_items)
+    folds = np.array_split(permutation, num_folds)
+    test_items = set(folds[fold].tolist())
+    train_items = [item for item in range(ui.num_items) if item not in test_items]
+
+    train = ui.restrict_items(train_items)
+    test_map: Dict[int, Set[int]] = {}
+    for user, item in zip(ui.users.tolist(), ui.items.tolist()):
+        if item in test_items:
+            test_map.setdefault(user, set()).add(item)
+    return Split(dataset=dataset, train=train, test_positives=test_map,
+                 setting="new_item",
+                 candidate_items=np.asarray(sorted(test_items), dtype=np.int64))
+
+
+def new_user_split(dataset: Dataset, fold: int = 0, num_folds: int = 5,
+                   seed: int = 0) -> Split:
+    """New-user split (§V-D): hold out one fold of *users* entirely.
+
+    Held-out users have no training history; they are reachable only via
+    user-side KG triplets (disease-disease links in the DisGeNet analogue).
+    """
+    if not 0 <= fold < num_folds:
+        raise ValueError(f"fold must be in [0, {num_folds})")
+    rng = np.random.default_rng(seed)
+    ui = dataset.ui_graph
+    permutation = rng.permutation(ui.num_users)
+    folds = np.array_split(permutation, num_folds)
+    test_users = set(folds[fold].tolist())
+    train_users = [user for user in range(ui.num_users) if user not in test_users]
+
+    train = ui.restrict_users(train_users)
+    test_map: Dict[int, Set[int]] = {}
+    for user, item in zip(ui.users.tolist(), ui.items.tolist()):
+        if user in test_users:
+            test_map.setdefault(user, set()).add(item)
+    return Split(dataset=dataset, train=train, test_positives=test_map,
+                 setting="new_user")

@@ -1,0 +1,115 @@
+"""On-disk TSV serialization for datasets.
+
+Layout of a dataset directory (same spirit as the KGAT/KGIN public dumps):
+
+* ``meta.tsv`` — key/value pairs (name, sizes, relation counts);
+* ``interactions.tsv`` — ``user<TAB>item`` per line;
+* ``kg.tsv`` — ``head<TAB>relation<TAB>tail`` per line;
+* ``item_to_entity.tsv`` — ``item<TAB>entity`` per line (optional);
+* ``user_kg.tsv`` — ``user<TAB>relation<TAB>user`` per line (optional).
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Dict
+
+import numpy as np
+
+from .dataset import Dataset
+from ..graph import KnowledgeGraph, UserItemGraph
+
+
+def save_dataset(dataset: Dataset, directory: str) -> None:
+    """Write ``dataset`` into ``directory`` (created if missing)."""
+    os.makedirs(directory, exist_ok=True)
+
+    meta = {
+        "name": dataset.name,
+        "num_users": dataset.num_users,
+        "num_items": dataset.num_items,
+        "num_entities": dataset.kg.num_entities,
+        "num_relations": dataset.kg.num_relations,
+        "num_user_relations": dataset.num_user_relations,
+    }
+    with open(os.path.join(directory, "meta.tsv"), "w") as handle:
+        for key, value in meta.items():
+            handle.write(f"{key}\t{value}\n")
+
+    with open(os.path.join(directory, "interactions.tsv"), "w") as handle:
+        for user, item in zip(dataset.ui_graph.users, dataset.ui_graph.items):
+            handle.write(f"{user}\t{item}\n")
+
+    with open(os.path.join(directory, "kg.tsv"), "w") as handle:
+        for head, relation, tail in zip(dataset.kg.heads, dataset.kg.relations,
+                                        dataset.kg.tails):
+            handle.write(f"{head}\t{relation}\t{tail}\n")
+
+    if dataset.item_to_entity is not None:
+        with open(os.path.join(directory, "item_to_entity.tsv"), "w") as handle:
+            for item, entity in enumerate(dataset.item_to_entity):
+                handle.write(f"{item}\t{entity}\n")
+
+    if dataset.user_triplets:
+        with open(os.path.join(directory, "user_kg.tsv"), "w") as handle:
+            for user_a, relation, user_b in dataset.user_triplets:
+                handle.write(f"{user_a}\t{relation}\t{user_b}\n")
+
+
+def load_dataset(directory: str) -> Dataset:
+    """Load a dataset written by :func:`save_dataset`."""
+    meta = _read_meta(os.path.join(directory, "meta.tsv"))
+    num_users = int(meta["num_users"])
+    num_items = int(meta["num_items"])
+
+    interactions = _read_tsv(os.path.join(directory, "interactions.tsv"), 2)
+    ui_graph = UserItemGraph(num_users, num_items, interactions)
+
+    triplets = _read_tsv(os.path.join(directory, "kg.tsv"), 3)
+    kg = KnowledgeGraph(int(meta["num_entities"]), int(meta["num_relations"]),
+                        triplets)
+
+    item_to_entity = None
+    alignment_path = os.path.join(directory, "item_to_entity.tsv")
+    if os.path.exists(alignment_path):
+        pairs = _read_tsv(alignment_path, 2)
+        item_to_entity = np.full(num_items, -1, dtype=np.int64)
+        for item, entity in pairs:
+            item_to_entity[item] = entity
+
+    user_triplets = []
+    user_kg_path = os.path.join(directory, "user_kg.tsv")
+    if os.path.exists(user_kg_path):
+        user_triplets = [tuple(row) for row in _read_tsv(user_kg_path, 3)]
+
+    return Dataset(
+        name=meta["name"],
+        ui_graph=ui_graph,
+        kg=kg,
+        item_to_entity=item_to_entity,
+        user_triplets=user_triplets,
+        num_user_relations=int(meta.get("num_user_relations", 0)),
+    )
+
+
+def _read_meta(path: str) -> Dict[str, str]:
+    meta: Dict[str, str] = {}
+    with open(path) as handle:
+        for line in handle:
+            key, value = line.rstrip("\n").split("\t")
+            meta[key] = value
+    return meta
+
+
+def _read_tsv(path: str, num_columns: int):
+    rows = []
+    with open(path) as handle:
+        for line_number, line in enumerate(handle, start=1):
+            fields = line.rstrip("\n").split("\t")
+            if len(fields) != num_columns:
+                raise ValueError(
+                    f"{path}:{line_number}: expected {num_columns} columns, "
+                    f"got {len(fields)}"
+                )
+            rows.append(tuple(int(field) for field in fields))
+    return rows

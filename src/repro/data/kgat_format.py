@@ -1,0 +1,141 @@
+"""Loader for the public KGAT/KGIN dataset format.
+
+The paper's datasets (Last-FM, Amazon-Book, Alibaba-iFashion) are
+distributed in the format popularized by the KGAT repository:
+
+* ``train.txt`` / ``test.txt`` — one line per user:
+  ``user item item item ...`` (space separated);
+* ``kg_final.txt`` — one triplet per line: ``head relation tail``;
+* items are entities ``0..num_items-1`` of the KG (identity alignment).
+
+This module parses that format into this repo's :class:`Dataset` /
+:class:`Split` types, so the full pipeline runs unchanged on the real
+public dumps when they are available (they are not bundled here — no
+network in this environment; see DESIGN.md).
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Dict, List, Set, Tuple
+
+import numpy as np
+
+from .dataset import Dataset, Split
+from ..graph import KnowledgeGraph, UserItemGraph
+
+
+def load_kgat_dataset(directory: str, name: str = "") -> Tuple[Dataset, Split]:
+    """Load a KGAT-format dataset directory.
+
+    Returns ``(dataset, split)`` where the dataset holds train+test
+    interactions and the split carries the directory's own train/test
+    division (the paper's traditional setting).
+
+    Raises ``FileNotFoundError`` / ``ValueError`` on missing or malformed
+    files.
+    """
+    train_path = os.path.join(directory, "train.txt")
+    test_path = os.path.join(directory, "test.txt")
+    kg_path = os.path.join(directory, "kg_final.txt")
+    for path in (train_path, test_path, kg_path):
+        if not os.path.exists(path):
+            raise FileNotFoundError(f"missing dataset file: {path}")
+
+    train_pairs = _read_interaction_file(train_path)
+    test_pairs = _read_interaction_file(test_path)
+    triplets = _read_kg_file(kg_path)
+
+    num_users = 1 + max((u for u, _ in train_pairs + test_pairs), default=-1)
+    max_item = max((i for _, i in train_pairs + test_pairs), default=-1)
+    max_entity = max((max(h, t) for h, _, t in triplets), default=-1)
+    num_items = max_item + 1
+    num_entities = max(max_entity + 1, num_items)
+    num_relations = 1 + max((r for _, r, _ in triplets), default=-1)
+    if num_users == 0 or num_items == 0:
+        raise ValueError(f"{directory}: no interactions found")
+
+    ui_graph = UserItemGraph(num_users, num_items, train_pairs + test_pairs)
+    kg = KnowledgeGraph(num_entities, max(num_relations, 1), triplets)
+    dataset = Dataset(
+        name=name or os.path.basename(os.path.normpath(directory)),
+        ui_graph=ui_graph,
+        kg=kg,
+        item_to_entity=np.arange(num_items, dtype=np.int64),
+    )
+
+    train_graph = UserItemGraph(num_users, num_items, train_pairs)
+    train_items = {item for _, item in train_pairs}
+    test_positives: Dict[int, Set[int]] = {}
+    for user, item in test_pairs:
+        if item in train_items:  # I_test ⊂ I_train in the traditional setting
+            test_positives.setdefault(user, set()).add(item)
+    split = Split(dataset=dataset, train=train_graph,
+                  test_positives=test_positives, setting="traditional")
+    return dataset, split
+
+
+def save_kgat_dataset(dataset: Dataset, split: Split, directory: str) -> None:
+    """Write a dataset/split pair in KGAT format (the loader's inverse)."""
+    os.makedirs(directory, exist_ok=True)
+    _write_interaction_file(os.path.join(directory, "train.txt"),
+                            split.train.users, split.train.items,
+                            dataset.num_users)
+    test_users: List[int] = []
+    test_items: List[int] = []
+    for user, items in sorted(split.test_positives.items()):
+        for item in sorted(items):
+            test_users.append(user)
+            test_items.append(item)
+    _write_interaction_file(os.path.join(directory, "test.txt"),
+                            np.asarray(test_users, dtype=np.int64),
+                            np.asarray(test_items, dtype=np.int64),
+                            dataset.num_users)
+    with open(os.path.join(directory, "kg_final.txt"), "w") as handle:
+        for head, relation, tail in zip(dataset.kg.heads,
+                                        dataset.kg.relations,
+                                        dataset.kg.tails):
+            handle.write(f"{head} {relation} {tail}\n")
+
+
+def _read_interaction_file(path: str) -> List[Tuple[int, int]]:
+    pairs: List[Tuple[int, int]] = []
+    with open(path) as handle:
+        for line_number, line in enumerate(handle, start=1):
+            fields = line.split()
+            if not fields:
+                continue
+            try:
+                user = int(fields[0])
+                items = [int(field) for field in fields[1:]]
+            except ValueError as error:
+                raise ValueError(f"{path}:{line_number}: {error}") from None
+            pairs.extend((user, item) for item in items)
+    return pairs
+
+
+def _read_kg_file(path: str) -> List[Tuple[int, int, int]]:
+    triplets: List[Tuple[int, int, int]] = []
+    with open(path) as handle:
+        for line_number, line in enumerate(handle, start=1):
+            fields = line.split()
+            if not fields:
+                continue
+            if len(fields) != 3:
+                raise ValueError(
+                    f"{path}:{line_number}: expected 3 fields, got {len(fields)}")
+            head, relation, tail = (int(field) for field in fields)
+            triplets.append((head, relation, tail))
+    return triplets
+
+
+def _write_interaction_file(path: str, users: np.ndarray, items: np.ndarray,
+                            num_users: int) -> None:
+    by_user: Dict[int, List[int]] = {}
+    for user, item in zip(users.tolist(), items.tolist()):
+        by_user.setdefault(user, []).append(item)
+    with open(path, "w") as handle:
+        for user in range(num_users):
+            if user in by_user:
+                items_text = " ".join(str(i) for i in sorted(by_user[user]))
+                handle.write(f"{user} {items_text}\n")

@@ -1,0 +1,7 @@
+"""Evaluation: recall/ndcg metrics and the all-ranking protocol."""
+
+from .metrics import ndcg_at_n, rank_items, recall_at_n
+from .protocol import EvalResult, Scorer, evaluate
+
+__all__ = ["recall_at_n", "ndcg_at_n", "rank_items",
+           "evaluate", "EvalResult", "Scorer"]

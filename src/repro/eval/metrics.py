@@ -1,0 +1,62 @@
+"""Ranking metrics: recall@N and ndcg@N (Eq. 15-16 of the paper)."""
+
+from __future__ import annotations
+
+from typing import Sequence, Set
+
+import numpy as np
+
+
+def recall_at_n(ranked: Sequence[int], relevant: Set[int], n: int = 20) -> float:
+    """``|R_{1:N} ∩ T| / |T|`` (Eq. 15).
+
+    Parameters
+    ----------
+    ranked:
+        Recommended items, best first (training positives already removed).
+    relevant:
+        The user's held-out test items ``T``.
+    n:
+        Cutoff ``N``.
+    """
+    if n < 1:
+        raise ValueError("n must be >= 1")
+    if not relevant:
+        raise ValueError("relevant set must be non-empty")
+    hits = sum(1 for item in ranked[:n] if item in relevant)
+    return hits / len(relevant)
+
+
+def ndcg_at_n(ranked: Sequence[int], relevant: Set[int], n: int = 20) -> float:
+    """Normalized discounted cumulative gain (Eq. 16).
+
+    DCG sums ``1 / log2(i + 1)`` over hit positions ``i`` (1-indexed);
+    the normalizer is the ideal DCG of ``min(|T|, N)`` hits at the top.
+    """
+    if n < 1:
+        raise ValueError("n must be >= 1")
+    if not relevant:
+        raise ValueError("relevant set must be non-empty")
+    dcg = sum(1.0 / np.log2(position + 1)
+              for position, item in enumerate(ranked[:n], start=1)
+              if item in relevant)
+    ideal = sum(1.0 / np.log2(position + 1)
+                for position in range(1, min(len(relevant), n) + 1))
+    return dcg / ideal
+
+
+def rank_items(scores: np.ndarray, exclude: Set[int], n: int) -> np.ndarray:
+    """Top-``n`` item ids by score with ``exclude`` masked out.
+
+    This implements the all-ranking strategy of §V-A2: scores cover *all*
+    items and the user's training positives are removed before ranking.
+    """
+    masked = scores.astype(np.float64, copy=True)
+    if exclude:
+        masked[np.fromiter(exclude, dtype=np.int64)] = -np.inf
+    n = min(n, masked.size)
+    top = np.argpartition(-masked, n - 1)[:n]
+    ranked = top[np.argsort(-masked[top], kind="stable")]
+    # When n reaches the number of available items, masked entries would
+    # fill the tail; drop them so excluded items are never recommended.
+    return ranked[masked[ranked] > -np.inf]

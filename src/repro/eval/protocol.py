@@ -1,0 +1,95 @@
+"""All-ranking evaluation protocol (§V-A2 of the paper).
+
+For every test user, a model scores **all** items; training positives are
+masked; recall@N and ndcg@N are computed against the held-out positives
+and averaged over users.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Protocol, Sequence
+
+import numpy as np
+
+from ..data import Split
+from .metrics import ndcg_at_n, rank_items, recall_at_n
+
+
+class Scorer(Protocol):
+    """Anything that can score all items for a batch of users."""
+
+    def score_users(self, users: Sequence[int]) -> np.ndarray:
+        """Return an array of shape ``(len(users), num_items)``."""
+        ...
+
+
+@dataclass
+class EvalResult:
+    """Averaged metrics plus the per-user breakdown."""
+
+    recall: float
+    ndcg: float
+    n: int
+    num_users: int
+    per_user_recall: Dict[int, float]
+    per_user_ndcg: Dict[int, float]
+
+    def __str__(self) -> str:
+        return (f"recall@{self.n}={self.recall:.4f} "
+                f"ndcg@{self.n}={self.ndcg:.4f} ({self.num_users} users)")
+
+
+def evaluate(model: Scorer, split: Split, n: int = 20,
+             batch_size: int = 64,
+             max_users: Optional[int] = None,
+             seed: int = 0) -> EvalResult:
+    """Evaluate ``model`` on ``split`` with the all-ranking protocol.
+
+    Parameters
+    ----------
+    model:
+        Scorer over all items.
+    split:
+        Train/test division; test positives define relevance.
+    n:
+        Metric cutoff (paper default 20).
+    batch_size:
+        Users scored per call to ``model.score_users``.
+    max_users:
+        Optional cap on evaluated users (uniform subsample) to bound
+        benchmark runtime; ``None`` evaluates everyone.
+    seed:
+        Subsampling seed (only used when ``max_users`` is set).
+    """
+    users = split.test_users
+    if not users:
+        raise ValueError("split has no test users")
+    if max_users is not None and len(users) > max_users:
+        rng = np.random.default_rng(seed)
+        users = sorted(rng.choice(users, size=max_users, replace=False).tolist())
+
+    per_user_recall: Dict[int, float] = {}
+    per_user_ndcg: Dict[int, float] = {}
+    for start in range(0, len(users), batch_size):
+        batch = users[start:start + batch_size]
+        scores = model.score_users(batch)
+        if scores.shape[0] != len(batch):
+            raise ValueError(
+                f"scorer returned {scores.shape[0]} rows for {len(batch)} users"
+            )
+        for row, user in enumerate(batch):
+            exclude = split.train.positives(user)
+            ranked = rank_items(scores[row], exclude, n)
+            relevant = split.test_positives[user]
+            per_user_recall[user] = recall_at_n(ranked, relevant, n)
+            per_user_ndcg[user] = ndcg_at_n(ranked, relevant, n)
+
+    return EvalResult(
+        recall=float(np.mean(list(per_user_recall.values()))),
+        ndcg=float(np.mean(list(per_user_ndcg.values()))),
+        n=n,
+        num_users=len(users),
+        per_user_recall=per_user_recall,
+        per_user_ndcg=per_user_ndcg,
+    )

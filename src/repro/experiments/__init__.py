@@ -1,0 +1,41 @@
+"""Experiment harness: profiles, method factories, and per-table runners.
+
+``EXPERIMENTS`` maps each paper table/figure id to the runner that
+regenerates it.  Each runner returns a
+:class:`~repro.experiments.tables.TableResult`.
+"""
+
+from .methods import (KUCNET_DEPTH, KUCNET_K, TABLE3_METHODS, TABLE4_METHODS,
+                      kucnet_settings, make_method)
+from .profiles import PROFILES, Profile, active_profile
+from .runners import (RECOMMENDATION_DATASETS, run_fig4, run_fig5, run_fig6,
+                      run_fig7, run_table2, run_table3, run_table4,
+                      run_table5, run_table6, run_table7, run_table8,
+                      run_table9)
+from .tables import TableResult
+
+#: table/figure id -> runner
+EXPERIMENTS = {
+    "table2": run_table2,
+    "table3": run_table3,
+    "table4": run_table4,
+    "table5": run_table5,
+    "table6": run_table6,
+    "table7": run_table7,
+    "table8": run_table8,
+    "table9": run_table9,
+    "fig4": run_fig4,
+    "fig5": run_fig5,
+    "fig6": run_fig6,
+    "fig7": run_fig7,
+}
+
+__all__ = [
+    "EXPERIMENTS", "TableResult", "Profile", "PROFILES", "active_profile",
+    "make_method", "kucnet_settings",
+    "TABLE3_METHODS", "TABLE4_METHODS", "KUCNET_DEPTH", "KUCNET_K",
+    "RECOMMENDATION_DATASETS",
+    "run_table2", "run_table3", "run_table4", "run_table5", "run_table6",
+    "run_table7", "run_table8", "run_table9", "run_fig4", "run_fig5",
+    "run_fig6", "run_fig7",
+]

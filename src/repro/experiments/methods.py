@@ -1,0 +1,111 @@
+"""Method factories with per-dataset / per-setting hyper-parameters.
+
+Mirrors the paper's protocol of tuning each method per dataset (§V-A3):
+the numbers below were selected on the synthetic analogues.  Factories
+take the active :class:`~repro.experiments.profiles.Profile` so the
+quick profile trains shorter.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List
+
+from ..baselines import (BASELINES, BaselineConfig, PathSim, PPRRecommender,
+                         REDGNN, Recommender)
+from ..core import KUCNetConfig, KUCNetRecommender, TrainConfig
+from .profiles import Profile
+
+#: Table III method rows (embedding/GNN methods + KUCNet)
+TABLE3_METHODS = ["MF", "FM", "NFM", "RippleNet", "KGNN-LS", "CKAN", "KGIN",
+                  "CKE", "R-GCN", "KGAT", "KUCNet"]
+#: Table IV/V method rows (adds the non-embedding baselines)
+TABLE4_METHODS = TABLE3_METHODS[:-1] + ["PPR", "PathSim", "REDGNN", "KUCNet"]
+
+#: KUCNet depth per (dataset, setting); the paper tunes L in {3, 4, 5}
+#: (§V-A3).  At this reproduction's reduced scale the new-item settings
+#: need the deeper configurations (see EXPERIMENTS.md).
+KUCNET_DEPTH = {
+    ("lastfm_like", "traditional"): 3,
+    ("amazon_book_like", "traditional"): 3,
+    ("alibaba_ifashion_like", "traditional"): 3,
+    ("disgenet_like", "traditional"): 3,
+    ("lastfm_like", "new_item"): 4,
+    ("amazon_book_like", "new_item"): 4,
+    ("alibaba_ifashion_like", "new_item"): 5,
+    ("disgenet_like", "new_item"): 5,
+    ("disgenet_like", "new_user"): 4,
+}
+
+#: KUCNet sampling budget K per (dataset, setting)
+KUCNET_K = {
+    ("lastfm_like", "traditional"): 20,
+    ("amazon_book_like", "traditional"): 20,
+    ("alibaba_ifashion_like", "traditional"): 20,
+    ("disgenet_like", "traditional"): 20,
+    ("lastfm_like", "new_item"): 12,
+    ("amazon_book_like", "new_item"): 12,
+    ("alibaba_ifashion_like", "new_item"): 15,
+    ("disgenet_like", "new_item"): 20,
+    ("disgenet_like", "new_user"): 12,
+}
+
+#: whether PPR pruning ranks by degree-normalized scores (see
+#: TrainConfig.ppr_degree_normalized).  Degree normalization helps on
+#: the KG-rich recommendation analogues but hurts on the DisGeNet
+#: analogue, whose unique-attribute tails it over-selects — tuned per
+#: dataset like K.
+KUCNET_PPR_NORM = {
+    "lastfm_like": True,
+    "amazon_book_like": True,
+    "alibaba_ifashion_like": True,
+    "disgenet_like": False,
+}
+
+
+def kucnet_settings(dataset: str, setting: str, profile: Profile,
+                    seed: int = 0, **overrides) -> KUCNetRecommender:
+    """Tuned KUCNet for a (dataset, setting) pair."""
+    depth = overrides.pop("depth", KUCNET_DEPTH.get((dataset, setting), 3))
+    k = overrides.pop("k", KUCNET_K.get((dataset, setting), 40))
+    epochs = overrides.pop("epochs",
+                           profile.kucnet_epochs if setting == "traditional"
+                           else max(profile.kucnet_epochs, 10))
+    learning_rate = overrides.pop("learning_rate",
+                                  3e-3 if setting == "traditional" else 5e-3)
+    sampler = overrides.pop("sampler", "ppr")
+    use_attention = overrides.pop("use_attention", True)
+    degree_normalized = overrides.pop("ppr_degree_normalized",
+                                      KUCNET_PPR_NORM.get(dataset, True))
+    # deep graphs grow multiplicatively per layer; smaller user batches
+    # keep the per-batch autodiff memory bounded
+    batch_users = overrides.pop("batch_users", 12 if depth >= 5 else 24)
+    model = KUCNetConfig(dim=48, depth=depth, dropout=0.1,
+                         use_attention=use_attention, seed=seed)
+    train = TrainConfig(epochs=epochs, pairs_per_user=6, k=k,
+                        batch_users=batch_users,
+                        learning_rate=learning_rate, sampler=sampler,
+                        ppr_degree_normalized=degree_normalized,
+                        seed=seed, **overrides)
+    return KUCNetRecommender(model, train)
+
+
+def make_method(name: str, dataset: str, setting: str, profile: Profile,
+                seed: int = 0) -> Recommender:
+    """Instantiate a method row of Tables III-V."""
+    if name == "KUCNet":
+        return kucnet_settings(dataset, setting, profile, seed=seed)
+    if name == "PPR":
+        return PPRRecommender()
+    if name == "PathSim":
+        return PathSim(seed=seed)
+    if name == "REDGNN":
+        depth = KUCNET_DEPTH.get((dataset, setting), 3)
+        epochs = (profile.kucnet_epochs if setting == "traditional"
+                  else max(profile.kucnet_epochs, 10))
+        return REDGNN(dim=48, depth=depth, epochs=epochs, edge_cap=40,
+                      seed=seed)
+    if name in BASELINES:
+        config = BaselineConfig(dim=32, epochs=profile.baseline_epochs,
+                                seed=seed)
+        return BASELINES[name](config)
+    raise KeyError(f"unknown method {name!r}")

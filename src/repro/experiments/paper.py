@@ -1,0 +1,136 @@
+"""Paper-reported numbers, used for side-by-side comparison in outputs.
+
+All values transcribed from the ICDE 2024 paper.  Dataset keys map the
+paper's datasets to this repo's synthetic analogues:
+``Last-FM → lastfm_like``, ``Amazon-Book → amazon_book_like``,
+``Alibaba-iFashion → alibaba_ifashion_like``, ``DisGeNet → disgenet_like``.
+"""
+
+# Table III: traditional recommendation, (recall@20, ndcg@20).
+PAPER_TABLE3 = {
+    "lastfm_like": {
+        "MF": (0.0724, 0.0617), "FM": (0.0778, 0.0644), "NFM": (0.0829, 0.0671),
+        "RippleNet": (0.0791, 0.0652), "KGNN-LS": (0.0880, 0.0642),
+        "CKAN": (0.0812, 0.0660), "KGIN": (0.0978, 0.0848),
+        "CKE": (0.0732, 0.0630), "R-GCN": (0.0743, 0.0631),
+        "KGAT": (0.0873, 0.0744), "KUCNet": (0.1205, 0.1078),
+    },
+    "amazon_book_like": {
+        "MF": (0.1300, 0.0678), "FM": (0.1345, 0.0701), "NFM": (0.1366, 0.0713),
+        "RippleNet": (0.1336, 0.0694), "KGNN-LS": (0.1362, 0.0560),
+        "CKAN": (0.1442, 0.0698), "KGIN": (0.1687, 0.0915),
+        "CKE": (0.1342, 0.0698), "R-GCN": (0.1220, 0.0646),
+        "KGAT": (0.1487, 0.0799), "KUCNet": (0.1718, 0.0967),
+    },
+    "alibaba_ifashion_like": {
+        "MF": (0.1095, 0.0670), "FM": (0.1001, 0.0602), "NFM": (0.1035, 0.0654),
+        "RippleNet": (0.0960, 0.0521), "KGNN-LS": (0.1039, 0.0557),
+        "CKAN": (0.0970, 0.0509), "KGIN": (0.1147, 0.0716),
+        "CKE": (0.1103, 0.0676), "R-GCN": (0.0860, 0.0515),
+        "KGAT": (0.1030, 0.0627), "KUCNet": (0.1031, 0.0663),
+    },
+}
+
+# Table IV: recommendation with new items, (recall@20, ndcg@20).
+PAPER_TABLE4 = {
+    "lastfm_like": {
+        "MF": (0.0, 0.0), "FM": (0.0012, 0.0007), "NFM": (0.0125, 0.0068),
+        "RippleNet": (0.0005, 0.0004), "KGNN-LS": (0.0, 0.0),
+        "CKAN": (0.0005, 0.0005), "KGIN": (0.2472, 0.2292),
+        "CKE": (0.0, 0.0), "R-GCN": (0.0616, 0.0372), "KGAT": (0.0, 0.0),
+        "PPR": (0.2274, 0.1919), "PathSim": (0.5248, 0.5308),
+        "REDGNN": (0.5284, 0.5425), "KUCNet": (0.5375, 0.5573),
+    },
+    "amazon_book_like": {
+        "MF": (0.0, 0.0), "FM": (0.0026, 0.0010), "NFM": (0.0006, 0.0003),
+        "RippleNet": (0.0011, 0.0005), "KGNN-LS": (0.0001, 0.0001),
+        "CKAN": (0.0005, 0.0003), "KGIN": (0.0868, 0.0446),
+        "CKE": (0.0, 0.0), "R-GCN": (0.0001, 0.0001), "KGAT": (0.0001, 0.0001),
+        "PPR": (0.0301, 0.0167), "PathSim": (0.2053, 0.1491),
+        "REDGNN": (0.2187, 0.1633), "KUCNet": (0.2237, 0.1685),
+    },
+    "alibaba_ifashion_like": {
+        "MF": (0.0, 0.0), "FM": (0.0, 0.0), "NFM": (0.0, 0.0),
+        "RippleNet": (0.0007, 0.0004), "KGNN-LS": (0.0001, 0.0001),
+        "CKAN": (0.0003, 0.0002), "KGIN": (0.0010, 0.0004),
+        "CKE": (0.0, 0.0), "R-GCN": (0.0001, 0.0001), "KGAT": (0.0, 0.0),
+        "PPR": (0.0001, 0.0001), "PathSim": (0.0202, 0.0088),
+        "REDGNN": (0.0072, 0.0043), "KUCNet": (0.0269, 0.0149),
+    },
+}
+
+# Table V: DisGeNet, settings "new_item" and "new_user".
+PAPER_TABLE5 = {
+    "new_item": {
+        "MF": (0.0, 0.0), "FM": (0.0007, 0.0003), "NFM": (0.0038, 0.0033),
+        "RippleNet": (0.0023, 0.0011), "KGNN-LS": (0.0017, 0.0006),
+        "CKAN": (0.0189, 0.0086), "KGIN": (0.0989, 0.0568),
+        "CKE": (0.0001, 0.0), "KGAT": (0.0032, 0.0015),
+        "R-GCN": (0.0598, 0.0294), "PPR": (0.1293, 0.0665),
+        "PathSim": (0.2023, 0.1506), "REDGNN": (0.2341, 0.1523),
+        "KUCNet": (0.2574, 0.1791),
+    },
+    "new_user": {
+        "MF": (0.0123, 0.0086), "FM": (0.0238, 0.0165), "NFM": (0.0296, 0.0211),
+        "RippleNet": (0.0027, 0.0018), "KGNN-LS": (0.0080, 0.0048),
+        "CKAN": (0.0244, 0.0138), "KGIN": (0.0031, 0.0023),
+        "CKE": (0.0072, 0.0066), "KGAT": (0.0364, 0.0264),
+        "R-GCN": (0.1498, 0.1014), "PPR": (0.0194, 0.0156),
+        "PathSim": (0.2810, 0.2144), "REDGNN": (0.2821, 0.2154),
+        "KUCNet": (0.2883, 0.2274),
+    },
+}
+
+# Table VI: running time in minutes (PPR preprocessing, training, inference).
+PAPER_TABLE6 = {
+    "lastfm_like": {"PPR": 8, "Training": 204, "Inference": 15},
+    "amazon_book_like": {"PPR": 25, "Training": 335, "Inference": 150},
+    "alibaba_ifashion_like": {"PPR": 46, "Training": 304, "Inference": 42},
+}
+
+# Table VII: recall@20 for different sampling numbers K.
+PAPER_TABLE7 = {
+    "lastfm_like": {20: 0.1200, 30: 0.1202, 35: 0.1205, 40: 0.1199, 50: 0.1198},
+    "amazon_book_like": {100: 0.1702, 110: 0.1707, 120: 0.1718, 130: 0.1714,
+                         140: 0.1703},
+    "new-lastfm_like": {30: 0.5339, 40: 0.5368, 50: 0.5375, 60: 0.5369,
+                        70: 0.5362},
+    "new-amazon_book_like": {150: 0.2175, 160: 0.2197, 170: 0.2237,
+                             180: 0.2196, 190: 0.2172},
+}
+
+# Table VIII: recall@20 for model depth L in {3, 4, 5}.
+PAPER_TABLE8 = {
+    "lastfm_like": {3: 0.1205, 4: 0.1125, 5: 0.1150},
+    "amazon_book_like": {3: 0.1718, 4: 0.1667, 5: 0.1688},
+    "alibaba_ifashion_like": {3: 0.1031, 4: 0.1004, 5: 0.1015},
+    "new-lastfm_like": {3: 0.5375, 4: 0.5216, 5: 0.5331},
+    "new-amazon_book_like": {3: 0.2237, 4: 0.1952, 5: 0.2030},
+    "new-alibaba_ifashion_like": {3: 0.0057, 4: 0.0056, 5: 0.0269},
+}
+
+# Table IX: variant ablation, recall@20.
+PAPER_TABLE9 = {
+    "lastfm_like": {"KUCNet-random": 0.1181, "KUCNet-w.o.-Attn": 0.1193,
+                    "KUCNet": 0.1205},
+    "amazon_book_like": {"KUCNet-random": 0.1655, "KUCNet-w.o.-Attn": 0.1672,
+                         "KUCNet": 0.1718},
+    "new-lastfm_like": {"KUCNet-random": 0.5293, "KUCNet-w.o.-Attn": 0.5348,
+                        "KUCNet": 0.5375},
+    "new-amazon_book_like": {"KUCNet-random": 0.2142, "KUCNet-w.o.-Attn": 0.2172,
+                             "KUCNet": 0.2237},
+}
+
+# Table II: dataset statistics as reported in the paper.
+PAPER_TABLE2 = {
+    "lastfm_like": {"users": 23566, "items": 48123, "interactions": 3034796,
+                    "entities": 58266, "relations": 9, "triplets": 464567},
+    "amazon_book_like": {"users": 70679, "items": 24915, "interactions": 847733,
+                         "entities": 88572, "relations": 39,
+                         "triplets": 2557746},
+    "alibaba_ifashion_like": {"users": 114737, "items": 30040,
+                              "interactions": 1781093, "entities": 59156,
+                              "relations": 51, "triplets": 279155},
+    "disgenet_like": {"users": 13074, "items": 8947, "interactions": 130820,
+                      "entities": 14196, "relations": 4, "triplets": 928517},
+}

@@ -1,0 +1,45 @@
+"""Execution profiles for the benchmark harness.
+
+``quick`` (default) keeps every table/figure bench in the minutes range;
+``full`` uses full dataset scale, more epochs, and every test user.
+Select with the ``REPRO_PROFILE`` environment variable.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+from typing import Optional
+
+
+@dataclass(frozen=True)
+class Profile:
+    """Scaling knobs applied uniformly across experiments."""
+
+    name: str
+    #: dataset size multiplier (1.0 = the preset sizes of Table II analogue)
+    scale: float
+    #: epochs for embedding/GNN baselines
+    baseline_epochs: int
+    #: epochs for KUCNet and its variants
+    kucnet_epochs: int
+    #: evaluation user cap (None = all test users)
+    eval_users: Optional[int]
+    #: seeds to average over (the paper reports mean ± std)
+    num_seeds: int
+
+
+PROFILES = {
+    "quick": Profile(name="quick", scale=0.6, baseline_epochs=10,
+                     kucnet_epochs=6, eval_users=60, num_seeds=1),
+    "full": Profile(name="full", scale=1.0, baseline_epochs=20,
+                    kucnet_epochs=8, eval_users=None, num_seeds=2),
+}
+
+
+def active_profile() -> Profile:
+    """Profile selected by ``REPRO_PROFILE`` (default ``quick``)."""
+    name = os.environ.get("REPRO_PROFILE", "quick")
+    if name not in PROFILES:
+        raise ValueError(f"unknown profile {name!r}; choose from {sorted(PROFILES)}")
+    return PROFILES[name]

@@ -1,0 +1,114 @@
+"""Hyper-parameter search following the paper's protocol (§V-A3).
+
+The paper selects hyper-parameters **by training loss** with a capped
+epoch budget, over grids like lr ∈ [1e-6, 1e-2], K ∈ [20, 200],
+L ∈ {3,4,5}, δ ∈ {identity, tanh, ReLU}.  This module implements that
+selection loop for KUCNet (and, generically, anything with a ``fit``
+that records a loss history).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Iterable, List, Optional, Tuple
+
+import numpy as np
+
+from ..core import KUCNetConfig, KUCNetRecommender, TrainConfig
+from ..data import Split
+
+#: the paper's §V-A3 search space, reduced-scale analogue
+DEFAULT_KUCNET_GRID = {
+    "learning_rate": [1e-3, 3e-3, 5e-3],
+    "k": [12, 20, 40],
+    "depth": [3, 4, 5],
+    "activation": ["identity", "tanh", "relu"],
+}
+
+#: which grid keys configure the model vs the trainer
+_MODEL_KEYS = {"dim", "attn_dim", "depth", "activation", "dropout",
+               "use_attention"}
+
+
+@dataclass
+class Trial:
+    """One evaluated hyper-parameter combination."""
+
+    params: Dict[str, Any]
+    final_loss: float
+    history: List[float] = field(default_factory=list)
+
+
+@dataclass
+class SearchResult:
+    """All trials plus the winner (lowest final training loss)."""
+
+    trials: List[Trial]
+    best: Trial
+
+    def summary(self) -> str:
+        lines = [f"{len(self.trials)} trials; best loss "
+                 f"{self.best.final_loss:.4f} with {self.best.params}"]
+        for trial in sorted(self.trials, key=lambda t: t.final_loss)[:5]:
+            lines.append(f"  loss={trial.final_loss:.4f} {trial.params}")
+        return "\n".join(lines)
+
+
+def grid(search_space: Dict[str, Iterable]) -> List[Dict[str, Any]]:
+    """Expand a dict of value lists into the list of combinations."""
+    keys = sorted(search_space)
+    combos = itertools.product(*(list(search_space[key]) for key in keys))
+    return [dict(zip(keys, values)) for values in combos]
+
+
+def search_kucnet(split: Split,
+                  search_space: Optional[Dict[str, Iterable]] = None,
+                  epochs: int = 5, seed: int = 0,
+                  base_model: Optional[KUCNetConfig] = None,
+                  base_train: Optional[TrainConfig] = None,
+                  max_trials: Optional[int] = None) -> SearchResult:
+    """Grid-search KUCNet hyper-parameters by final training loss.
+
+    Parameters
+    ----------
+    split:
+        Training data (only the train side is used — selection is by
+        loss, per §V-A3, so no test leakage).
+    search_space:
+        ``{param: values}``; params may belong to either
+        :class:`KUCNetConfig` or :class:`TrainConfig`.
+    epochs:
+        Budget per trial (paper caps at 30 at full scale).
+    max_trials:
+        Optional cap; combinations beyond it are skipped in grid order.
+    """
+    search_space = search_space or DEFAULT_KUCNET_GRID
+    combos = grid(search_space)
+    if max_trials is not None:
+        combos = combos[:max_trials]
+    if not combos:
+        raise ValueError("empty search space")
+
+    base_model = base_model or KUCNetConfig(dim=32, seed=seed)
+    base_train = base_train or TrainConfig(seed=seed)
+
+    trials: List[Trial] = []
+    for params in combos:
+        model_kwargs = {**vars(base_model)}
+        train_kwargs = {**vars(base_train)}
+        for key, value in params.items():
+            if key in _MODEL_KEYS:
+                model_kwargs[key] = value
+            else:
+                train_kwargs[key] = value
+        train_kwargs["epochs"] = epochs
+        recommender = KUCNetRecommender(KUCNetConfig(**model_kwargs),
+                                        TrainConfig(**train_kwargs))
+        recommender.fit(split)
+        history = [stats.loss for stats in recommender.history]
+        trials.append(Trial(params=params, final_loss=history[-1],
+                            history=history))
+
+    best = min(trials, key=lambda trial: trial.final_loss)
+    return SearchResult(trials=trials, best=best)

@@ -1,0 +1,90 @@
+"""Result containers and text/markdown rendering for experiment outputs."""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+
+@dataclass
+class TableResult:
+    """A reproduced table: ordered rows of named numeric columns.
+
+    ``paper`` optionally carries the paper-reported value for each cell
+    (same row/column keys) so renderings show measured vs. paper
+    side-by-side.
+    """
+
+    title: str
+    columns: List[str]
+    rows: Dict[str, Dict[str, float]]
+    paper: Optional[Dict[str, Dict[str, float]]] = None
+    notes: List[str] = field(default_factory=list)
+
+    def render(self) -> str:
+        """Fixed-width text rendering with optional paper columns."""
+        columns = list(self.columns)
+        if self.paper:
+            columns += [f"{c} (paper)" for c in self.columns]
+        header = ["method"] + columns
+        body = []
+        for row_name, cells in self.rows.items():
+            line = [row_name]
+            for column in self.columns:
+                line.append(_format(cells.get(column)))
+            if self.paper:
+                paper_cells = self.paper.get(row_name, {})
+                for column in self.columns:
+                    line.append(_format(paper_cells.get(column)))
+            body.append(line)
+
+        widths = [max(len(str(row[i])) for row in [header] + body)
+                  for i in range(len(header))]
+        lines = [self.title, "=" * len(self.title)]
+        lines.append("  ".join(str(cell).ljust(width)
+                               for cell, width in zip(header, widths)))
+        lines.append("  ".join("-" * width for width in widths))
+        for row in body:
+            lines.append("  ".join(str(cell).ljust(width)
+                                   for cell, width in zip(row, widths)))
+        for note in self.notes:
+            lines.append(f"note: {note}")
+        return "\n".join(lines)
+
+    def render_markdown(self) -> str:
+        """GitHub-flavoured markdown rendering."""
+        columns = list(self.columns)
+        if self.paper:
+            columns += [f"{c} (paper)" for c in self.columns]
+        lines = [f"### {self.title}", ""]
+        lines.append("| method | " + " | ".join(columns) + " |")
+        lines.append("|" + "---|" * (len(columns) + 1))
+        for row_name, cells in self.rows.items():
+            parts = [row_name]
+            for column in self.columns:
+                parts.append(_format(cells.get(column)))
+            if self.paper:
+                paper_cells = self.paper.get(row_name, {})
+                for column in self.columns:
+                    parts.append(_format(paper_cells.get(column)))
+            lines.append("| " + " | ".join(parts) + " |")
+        for note in self.notes:
+            lines.append(f"\n_note: {note}_")
+        return "\n".join(lines) + "\n"
+
+    def save(self, directory: str, stem: str) -> str:
+        """Write the markdown rendering to ``directory/stem.md``."""
+        os.makedirs(directory, exist_ok=True)
+        path = os.path.join(directory, f"{stem}.md")
+        with open(path, "w") as handle:
+            handle.write(self.render_markdown())
+        return path
+
+
+def _format(value) -> str:
+    if value is None:
+        return "-"
+    if isinstance(value, float):
+        return f"{value:.4f}"
+    return str(value)

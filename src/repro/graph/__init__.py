@@ -1,0 +1,7 @@
+"""Graph substrates: user-item graph, KG, and the collaborative KG."""
+
+from .ckg import INTERACT_RELATION, CollaborativeKG
+from .knowledge import KnowledgeGraph
+from .user_item import UserItemGraph
+
+__all__ = ["UserItemGraph", "KnowledgeGraph", "CollaborativeKG", "INTERACT_RELATION"]

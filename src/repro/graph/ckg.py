@@ -1,0 +1,270 @@
+"""Collaborative knowledge graph (CKG, §III of the paper).
+
+Merges the user-item graph and the knowledge graph into one node/relation
+space:
+
+* node ids: users ``[0, U)``, KG entities ``[U, U + E)``, then one fresh
+  node per item that has no aligned entity;
+* relation ids: ``0`` is ``interact``, KG relations follow at ``1..R_k``,
+  and every relation ``r`` gets a reverse twin ``r + num_base_relations``
+  (the paper adds reverse relations so a user can reach an item in exactly
+  ``L`` hops, §IV-B).
+
+Edges (including reverses) are stored in CSR-by-head order so that the
+layerwise expansion of Eq. (9) — "all edges whose head is in the frontier"
+— is a handful of array slices.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence, Tuple
+
+import numpy as np
+import scipy.sparse as sp
+
+from .knowledge import KnowledgeGraph
+from .user_item import UserItemGraph
+
+INTERACT_RELATION = 0
+
+
+class CollaborativeKG:
+    """Merged user-item + KG graph with reverse relations and CSR adjacency.
+
+    Use :meth:`build` rather than calling the constructor directly.
+    """
+
+    def __init__(self, num_users: int, num_items: int, num_entities: int,
+                 num_base_relations: int, item_nodes: np.ndarray,
+                 heads: np.ndarray, relations: np.ndarray, tails: np.ndarray,
+                 num_nodes: int):
+        self.num_users = num_users
+        self.num_items = num_items
+        self.num_entities = num_entities
+        #: relations before adding reverses (interact + KG relations)
+        self.num_base_relations = num_base_relations
+        #: total relations including reverse twins
+        self.num_relations = 2 * num_base_relations
+        #: item-side KG relation count (refined by :meth:`build`)
+        self.num_kg_relations = num_base_relations - 1
+        #: user-side relation count (refined by :meth:`build`)
+        self.num_user_relations = 0
+        self.num_nodes = num_nodes
+        #: node id of each item (alignment target entity, or fresh node)
+        self.item_nodes = item_nodes
+
+        order = np.lexsort((tails, relations, heads))
+        self.heads = heads[order]
+        self.relations = relations[order]
+        self.tails = tails[order]
+        self.num_edges = int(self.heads.size)
+
+        # CSR index: edge ids of out-edges of node n are
+        # [indptr[n], indptr[n + 1]).
+        counts = np.zeros(num_nodes, dtype=np.int64)
+        np.add.at(counts, self.heads, 1)
+        self.indptr = np.concatenate([[0], np.cumsum(counts)])
+
+        self._item_node_to_item: Dict[int, int] = {
+            int(node): item for item, node in enumerate(item_nodes.tolist())
+        }
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def build(cls, ui_graph: UserItemGraph, kg: KnowledgeGraph,
+              item_to_entity: Optional[Sequence[int]] = None,
+              user_triplets: Optional[Sequence[Tuple[int, int, int]]] = None,
+              num_user_relations: int = 0) -> "CollaborativeKG":
+        """Assemble a CKG from interactions, a KG, and an item-entity alignment.
+
+        Parameters
+        ----------
+        ui_graph:
+            The user-item interactions.
+        kg:
+            Side-information knowledge graph.
+        item_to_entity:
+            ``item_to_entity[i]`` is the KG entity aligned with item ``i``
+            (the matching set ``M`` of §III), or ``-1`` for unaligned items,
+            which receive fresh CKG nodes only reachable through
+            ``interact`` edges.  Defaults to the identity alignment
+            (item ``i`` is entity ``i``), which requires
+            ``kg.num_entities >= ui_graph.num_items``.
+        user_triplets:
+            Optional user-side KG: ``(user, relation, user)`` triplets, e.g.
+            the disease-disease links of the DisGeNet experiment (§V-D).
+            Relation ids live in ``[0, num_user_relations)`` and are mapped
+            after the item-side KG relations.
+        num_user_relations:
+            Size of the user-side relation id space.
+        """
+        num_users = ui_graph.num_users
+        num_items = ui_graph.num_items
+        num_entities = kg.num_entities
+
+        if item_to_entity is None:
+            if num_entities < num_items:
+                raise ValueError(
+                    "identity alignment requires at least as many entities as items"
+                )
+            alignment = np.arange(num_items, dtype=np.int64)
+        else:
+            alignment = np.asarray(list(item_to_entity), dtype=np.int64)
+            if alignment.shape != (num_items,):
+                raise ValueError("item_to_entity must have one entry per item")
+            if alignment.max(initial=-1) >= num_entities:
+                raise ValueError("item_to_entity references unknown entity")
+
+        # Assign node ids.
+        entity_offset = num_users
+        next_fresh = num_users + num_entities
+        item_nodes = np.empty(num_items, dtype=np.int64)
+        for item in range(num_items):
+            entity = alignment[item]
+            if entity >= 0:
+                item_nodes[item] = entity_offset + entity
+            else:
+                item_nodes[item] = next_fresh
+                next_fresh += 1
+        num_nodes = next_fresh
+
+        num_user_relations = int(num_user_relations)
+        if user_triplets and num_user_relations <= 0:
+            raise ValueError("user_triplets given but num_user_relations is 0")
+        # interact + KG relations + user-side relations
+        num_base_relations = 1 + kg.num_relations + num_user_relations
+
+        # Forward edges: interactions then KG triplets (relations shifted by 1).
+        ui_heads = ui_graph.users
+        ui_tails = item_nodes[ui_graph.items]
+        kg_heads = kg.heads + entity_offset
+        kg_tails = kg.tails + entity_offset
+
+        heads = np.concatenate([ui_heads, kg_heads])
+        rels = np.concatenate([
+            np.full(ui_heads.size, INTERACT_RELATION, dtype=np.int64),
+            kg.relations + 1,
+        ])
+        tails = np.concatenate([ui_tails, kg_tails])
+
+        if user_triplets:
+            triples = np.asarray([(int(a), int(r), int(b)) for a, r, b in user_triplets],
+                                 dtype=np.int64)
+            if triples[:, [0, 2]].min() < 0 or triples[:, [0, 2]].max() >= num_users:
+                raise ValueError("user triplet references unknown user")
+            if triples[:, 1].min() < 0 or triples[:, 1].max() >= num_user_relations:
+                raise ValueError("user triplet relation out of range")
+            heads = np.concatenate([heads, triples[:, 0]])
+            rels = np.concatenate([rels, triples[:, 1] + 1 + kg.num_relations])
+            tails = np.concatenate([tails, triples[:, 2]])
+
+        # Reverse twins.
+        all_heads = np.concatenate([heads, tails])
+        all_rels = np.concatenate([rels, rels + num_base_relations])
+        all_tails = np.concatenate([tails, heads])
+
+        ckg = cls(num_users, num_items, num_entities, num_base_relations,
+                  item_nodes, all_heads, all_rels, all_tails, num_nodes)
+        ckg.num_kg_relations = kg.num_relations
+        ckg.num_user_relations = num_user_relations
+        return ckg
+
+    # ------------------------------------------------------------------
+    # Node id mapping
+    # ------------------------------------------------------------------
+    def user_node(self, user: int) -> int:
+        if not 0 <= user < self.num_users:
+            raise ValueError(f"user {user} out of range")
+        return int(user)
+
+    def item_node(self, item: int) -> int:
+        if not 0 <= item < self.num_items:
+            raise ValueError(f"item {item} out of range")
+        return int(self.item_nodes[item])
+
+    def entity_node(self, entity: int) -> int:
+        if not 0 <= entity < self.num_entities:
+            raise ValueError(f"entity {entity} out of range")
+        return int(self.num_users + entity)
+
+    def node_to_item(self, node: int) -> Optional[int]:
+        """Item id whose node is ``node``, or ``None``."""
+        return self._item_node_to_item.get(int(node))
+
+    def is_user_node(self, node: int) -> bool:
+        return 0 <= node < self.num_users
+
+    def reverse_relation(self, relation: int) -> int:
+        """The id of the reverse twin of ``relation`` (involution)."""
+        if relation < self.num_base_relations:
+            return relation + self.num_base_relations
+        return relation - self.num_base_relations
+
+    def relation_name(self, relation: int) -> str:
+        """Human-readable relation label for explanations (§V-F)."""
+        base = relation % self.num_base_relations
+        prefix = "-" if relation >= self.num_base_relations else ""
+        if base == INTERACT_RELATION:
+            return f"{prefix}interact"
+        return f"{prefix}rel_{base - 1}"
+
+    # ------------------------------------------------------------------
+    # Neighborhood expansion
+    # ------------------------------------------------------------------
+    def out_edge_ids(self, nodes: np.ndarray) -> np.ndarray:
+        """Edge ids of all edges whose head is in ``nodes`` (Eq. 9).
+
+        ``nodes`` must contain valid node ids; duplicates yield duplicate
+        edge ids, so callers normally pass a uniqued frontier.
+        """
+        nodes = np.asarray(nodes, dtype=np.int64)
+        starts = self.indptr[nodes]
+        stops = self.indptr[nodes + 1]
+        lengths = stops - starts
+        total = int(lengths.sum())
+        if total == 0:
+            return np.empty(0, dtype=np.int64)
+        # Vectorized concatenation of the ranges [starts[k], stops[k]): the
+        # position of each output element within its block is
+        # arange(total) minus the block's offset in the output.
+        block_offsets = np.concatenate([[0], np.cumsum(lengths)[:-1]])
+        within_block = np.arange(total, dtype=np.int64) - np.repeat(block_offsets, lengths)
+        return np.repeat(starts, lengths) + within_block
+
+    def out_edges(self, nodes: np.ndarray) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """``(heads, relations, tails)`` of edges out of ``nodes``."""
+        edge_ids = self.out_edge_ids(nodes)
+        return self.heads[edge_ids], self.relations[edge_ids], self.tails[edge_ids]
+
+    def out_degree(self, node: int) -> int:
+        return int(self.indptr[node + 1] - self.indptr[node])
+
+    def average_degree(self) -> float:
+        """Mean out-degree over all nodes (the paper's D-bar)."""
+        return self.num_edges / float(self.num_nodes)
+
+    # ------------------------------------------------------------------
+    # Matrices
+    # ------------------------------------------------------------------
+    def normalized_adjacency(self) -> sp.csr_matrix:
+        """Column-normalized adjacency ``M`` used by PPR (Eq. 13).
+
+        ``M[i, j] = 1 / outdeg(j)`` if there is an edge ``j -> i`` in the
+        CKG (reverse edges included, so the walk is effectively symmetric).
+        Columns of isolated nodes are all-zero; the PPR iteration's restart
+        term keeps the scores well-defined regardless.
+        """
+        out_degrees = np.diff(self.indptr).astype(np.float64)
+        weights = 1.0 / out_degrees[self.heads]
+        matrix = sp.csr_matrix(
+            (weights, (self.tails, self.heads)),
+            shape=(self.num_nodes, self.num_nodes),
+        )
+        matrix.sum_duplicates()
+        return matrix
+
+    def __repr__(self) -> str:
+        return (f"CollaborativeKG(nodes={self.num_nodes}, edges={self.num_edges}, "
+                f"relations={self.num_relations})")

@@ -1,0 +1,76 @@
+"""Knowledge graph triplet store (§III of the paper).
+
+A directed multi-relational graph ``G_k = (V_k, E_k)`` held as three
+parallel integer arrays ``(heads, relations, tails)``.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Tuple
+
+import numpy as np
+
+
+class KnowledgeGraph:
+    """Immutable triplet store over dense entity/relation id spaces.
+
+    Parameters
+    ----------
+    num_entities, num_relations:
+        Sizes of the entity and relation id spaces.
+    triplets:
+        Iterable of ``(head, relation, tail)``.  Duplicates are dropped.
+    """
+
+    def __init__(self, num_entities: int, num_relations: int,
+                 triplets: Iterable[Tuple[int, int, int]]):
+        if num_entities <= 0 or num_relations <= 0:
+            raise ValueError("num_entities and num_relations must be positive")
+        self.num_entities = int(num_entities)
+        self.num_relations = int(num_relations)
+
+        unique = sorted(set((int(h), int(r), int(t)) for h, r, t in triplets))
+        if unique:
+            array = np.asarray(unique, dtype=np.int64)
+            self.heads = array[:, 0].copy()
+            self.relations = array[:, 1].copy()
+            self.tails = array[:, 2].copy()
+        else:
+            self.heads = np.empty(0, dtype=np.int64)
+            self.relations = np.empty(0, dtype=np.int64)
+            self.tails = np.empty(0, dtype=np.int64)
+
+        if self.heads.size:
+            entity_ids = np.concatenate([self.heads, self.tails])
+            if entity_ids.min() < 0 or entity_ids.max() >= num_entities:
+                raise ValueError("triplet entity id out of range")
+            if self.relations.min() < 0 or self.relations.max() >= num_relations:
+                raise ValueError("triplet relation id out of range")
+
+    # ------------------------------------------------------------------
+    @property
+    def num_triplets(self) -> int:
+        return int(self.heads.size)
+
+    def entity_degrees(self) -> np.ndarray:
+        """Total (in + out) degree of each entity."""
+        degrees = np.zeros(self.num_entities, dtype=np.int64)
+        np.add.at(degrees, self.heads, 1)
+        np.add.at(degrees, self.tails, 1)
+        return degrees
+
+    def relation_counts(self) -> np.ndarray:
+        """Number of triplets per relation."""
+        counts = np.zeros(self.num_relations, dtype=np.int64)
+        np.add.at(counts, self.relations, 1)
+        return counts
+
+    def triplets_per_item(self, num_items: int) -> float:
+        """KG density proxy: triplets divided by item count (Table II style)."""
+        if num_items <= 0:
+            raise ValueError("num_items must be positive")
+        return self.num_triplets / float(num_items)
+
+    def __repr__(self) -> str:
+        return (f"KnowledgeGraph(entities={self.num_entities}, "
+                f"relations={self.num_relations}, triplets={self.num_triplets})")

@@ -1,0 +1,111 @@
+"""User-item interaction graph (§III of the paper).
+
+Implicit-feedback interactions under the bipartite-graph view: a set of
+``(u, i)`` pairs meaning user ``u`` interacted with item ``i``, stored as
+parallel integer arrays with per-user positive-set indexes for O(1)
+membership tests during negative sampling and evaluation masking.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Sequence, Set, Tuple
+
+import numpy as np
+
+
+class UserItemGraph:
+    """Bipartite implicit-feedback interaction graph.
+
+    Parameters
+    ----------
+    num_users, num_items:
+        Sizes of the user and item id spaces (ids are dense in
+        ``[0, num_users)`` / ``[0, num_items)``).
+    interactions:
+        Iterable of ``(user, item)`` pairs.  Duplicates are dropped.
+    """
+
+    def __init__(self, num_users: int, num_items: int,
+                 interactions: Iterable[Tuple[int, int]]):
+        if num_users <= 0 or num_items <= 0:
+            raise ValueError("num_users and num_items must be positive")
+        self.num_users = int(num_users)
+        self.num_items = int(num_items)
+
+        pairs = sorted(set((int(u), int(i)) for u, i in interactions))
+        if pairs:
+            users = np.fromiter((p[0] for p in pairs), dtype=np.int64, count=len(pairs))
+            items = np.fromiter((p[1] for p in pairs), dtype=np.int64, count=len(pairs))
+        else:
+            users = np.empty(0, dtype=np.int64)
+            items = np.empty(0, dtype=np.int64)
+        if users.size:
+            if users.min() < 0 or users.max() >= num_users:
+                raise ValueError("interaction user id out of range")
+            if items.min() < 0 or items.max() >= num_items:
+                raise ValueError("interaction item id out of range")
+        self.users = users
+        self.items = items
+
+        self._positives: Dict[int, Set[int]] = {}
+        for user, item in zip(users.tolist(), items.tolist()):
+            self._positives.setdefault(user, set()).add(item)
+
+    # ------------------------------------------------------------------
+    @property
+    def num_interactions(self) -> int:
+        return int(self.users.size)
+
+    def positives(self, user: int) -> Set[int]:
+        """Items the user interacted with (empty set if none)."""
+        return self._positives.get(int(user), set())
+
+    def has_interaction(self, user: int, item: int) -> bool:
+        return int(item) in self._positives.get(int(user), ())
+
+    def users_with_interactions(self) -> List[int]:
+        """Sorted list of users that have at least one interaction."""
+        return sorted(self._positives)
+
+    def item_degrees(self) -> np.ndarray:
+        """Number of interactions per item."""
+        degrees = np.zeros(self.num_items, dtype=np.int64)
+        np.add.at(degrees, self.items, 1)
+        return degrees
+
+    def user_degrees(self) -> np.ndarray:
+        """Number of interactions per user."""
+        degrees = np.zeros(self.num_users, dtype=np.int64)
+        np.add.at(degrees, self.users, 1)
+        return degrees
+
+    def density(self) -> float:
+        """Fraction of the user-item matrix that is observed."""
+        return self.num_interactions / float(self.num_users * self.num_items)
+
+    # ------------------------------------------------------------------
+    def restrict_items(self, allowed_items: Sequence[int]) -> "UserItemGraph":
+        """Return a copy containing only interactions with ``allowed_items``.
+
+        Used to build the new-item splits of §V-C: the training graph is the
+        original graph restricted to the training item set.  Id spaces are
+        unchanged, only edges are filtered.
+        """
+        allowed = np.zeros(self.num_items, dtype=bool)
+        allowed[np.asarray(list(allowed_items), dtype=np.int64)] = True
+        mask = allowed[self.items]
+        return UserItemGraph(self.num_users, self.num_items,
+                             zip(self.users[mask].tolist(), self.items[mask].tolist()))
+
+    def restrict_users(self, allowed_users: Sequence[int]) -> "UserItemGraph":
+        """Return a copy containing only interactions by ``allowed_users``
+        (new-user splits of §V-D)."""
+        allowed = np.zeros(self.num_users, dtype=bool)
+        allowed[np.asarray(list(allowed_users), dtype=np.int64)] = True
+        mask = allowed[self.users]
+        return UserItemGraph(self.num_users, self.num_items,
+                             zip(self.users[mask].tolist(), self.items[mask].tolist()))
+
+    def __repr__(self) -> str:
+        return (f"UserItemGraph(users={self.num_users}, items={self.num_items}, "
+                f"interactions={self.num_interactions})")

@@ -1,0 +1,23 @@
+"""KG link prediction: embedding scorers and subgraph predictors (§II-C).
+
+Recommendation is a link-prediction problem on ``interact`` edges; this
+subpackage provides the pure-KG version of both method families the
+paper discusses: embedding scorers (TransE / TransR / DistMult) and the
+inductive subgraph predictor (the RED-GNN lineage KUCNet builds on),
+plus filtered MRR / Hits@K evaluation.
+"""
+
+from .gnn import CompGCN, GNNLinkPredConfig, GNNLinkPredictor, NBFNet
+from .scoring import SCORERS, DistMult, TransE, TransR, TripletScorer
+from .subgraph import (SubgraphLinkPredConfig, SubgraphLinkPredictor,
+                       relational_graph_from_kg)
+from .trainer import (LinkPredConfig, LinkPredictor, RankingResult,
+                      split_triplets)
+
+__all__ = [
+    "TripletScorer", "TransE", "TransR", "DistMult", "SCORERS",
+    "LinkPredictor", "LinkPredConfig", "RankingResult", "split_triplets",
+    "SubgraphLinkPredictor", "SubgraphLinkPredConfig",
+    "GNNLinkPredictor", "GNNLinkPredConfig", "CompGCN", "NBFNet",
+    "relational_graph_from_kg",
+]

@@ -1,0 +1,103 @@
+"""KG-embedding scoring functions for link prediction (§II-C).
+
+The paper positions KUCNet against the embedding lineage of KG link
+prediction — TransE [32], TransR [29] — and builds on the subgraph
+lineage (GraIL, RED-GNN).  This module implements the embedding scorers
+on the autodiff engine; :mod:`repro.linkpred.subgraph` implements the
+subgraph side.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ..autodiff import Embedding, Module, Parameter, Tensor, gather_rows
+from ..autodiff import init as ad_init
+
+
+class TripletScorer(Module):
+    """Interface: a differentiable plausibility score for (h, r, t) ids."""
+
+    def __init__(self, num_entities: int, num_relations: int, dim: int,
+                 rng: Optional[np.random.Generator] = None):
+        super().__init__()
+        rng = rng or np.random.default_rng()
+        self.num_entities = num_entities
+        self.num_relations = num_relations
+        self.dim = dim
+        self.entity_embedding = Embedding(num_entities, dim, rng=rng)
+        self.relation_embedding = Embedding(num_relations, dim, rng=rng)
+
+    def score(self, heads: np.ndarray, relations: np.ndarray,
+              tails: np.ndarray) -> Tensor:
+        raise NotImplementedError
+
+    def score_all_tails(self, head: int, relation: int) -> np.ndarray:
+        """Plausibility of ``(head, relation, t)`` for every entity ``t``
+        (inference only, no gradients)."""
+        heads = np.full(self.num_entities, head, dtype=np.int64)
+        relations = np.full(self.num_entities, relation, dtype=np.int64)
+        tails = np.arange(self.num_entities, dtype=np.int64)
+        return self.score(heads, relations, tails).data
+
+
+class TransE(TripletScorer):
+    """``-||h + r - t||^2`` (Bordes et al., 2013)."""
+
+    def score(self, heads, relations, tails) -> Tensor:
+        h = self.entity_embedding(heads)
+        r = self.relation_embedding(relations)
+        t = self.entity_embedding(tails)
+        diff = h + r - t
+        return -(diff * diff).sum(axis=1)
+
+
+class DistMult(TripletScorer):
+    """``<h, r, t>`` trilinear product (Yang et al., 2015)."""
+
+    def score(self, heads, relations, tails) -> Tensor:
+        h = self.entity_embedding(heads)
+        r = self.relation_embedding(relations)
+        t = self.entity_embedding(tails)
+        return (h * r * t).sum(axis=1)
+
+
+class TransR(TripletScorer):
+    """``-||M_r h + r - M_r t||^2`` with a per-relation projection
+    (Lin et al., 2015) — the scorer CKE builds on."""
+
+    def __init__(self, num_entities: int, num_relations: int, dim: int,
+                 rng: Optional[np.random.Generator] = None):
+        super().__init__(num_entities, num_relations, dim, rng=rng)
+        rng = rng or np.random.default_rng()
+        self.projection = Parameter(
+            ad_init.xavier_uniform((num_relations, dim * dim), rng=rng),
+            name="projection")
+
+    def score(self, heads, relations, tails) -> Tensor:
+        h = self.entity_embedding(heads)
+        r = self.relation_embedding(relations)
+        t = self.entity_embedding(tails)
+        projections = gather_rows(self.projection, relations)  # (B, d*d)
+        diff = h - t
+        projected = _project(projections, diff, self.dim)
+        translated = projected + r
+        return -(translated * translated).sum(axis=1)
+
+
+def _project(projections: Tensor, vectors: Tensor, dim: int) -> Tensor:
+    """Apply per-row flattened d×d matrices to d-vectors, differentiably.
+
+    ``out[b, d'] = sum_k projections[b, d'*dim + k] * vectors[b, k]``.
+    """
+    batch = vectors.shape[0]
+    flat = vectors.reshape(batch * dim, 1)
+    indices = (np.arange(batch)[:, None] * dim
+               + np.tile(np.arange(dim), dim)[None, :]).ravel()
+    tiled = gather_rows(flat, indices).reshape(batch, dim * dim)
+    return (projections * tiled).reshape(batch * dim, dim).sum(axis=1).reshape(batch, dim)
+
+
+SCORERS = {"transe": TransE, "distmult": DistMult, "transr": TransR}

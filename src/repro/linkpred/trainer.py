@@ -1,0 +1,147 @@
+"""Training and filtered-ranking evaluation for KG link prediction."""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List, Optional, Set, Tuple
+
+import numpy as np
+
+from ..autodiff import Adam, log_sigmoid
+from ..graph import KnowledgeGraph
+from .scoring import SCORERS, TripletScorer
+
+
+@dataclasses.dataclass
+class LinkPredConfig:
+    """Hyper-parameters for KG-embedding link prediction."""
+
+    scorer: str = "transe"
+    dim: int = 32
+    epochs: int = 30
+    batch_size: int = 256
+    learning_rate: float = 0.01
+    weight_decay: float = 1e-6
+    #: corrupted tails sampled per positive triplet
+    num_negatives: int = 4
+    seed: int = 0
+
+
+@dataclasses.dataclass
+class RankingResult:
+    """Filtered ranking metrics over a set of test triplets."""
+
+    mrr: float
+    hits_at_1: float
+    hits_at_3: float
+    hits_at_10: float
+    num_triplets: int
+
+    def __str__(self) -> str:
+        return (f"MRR={self.mrr:.4f} H@1={self.hits_at_1:.4f} "
+                f"H@3={self.hits_at_3:.4f} H@10={self.hits_at_10:.4f} "
+                f"({self.num_triplets} triplets)")
+
+
+class LinkPredictor:
+    """KG-embedding link predictor: fit on triplets, rank tails.
+
+    Follows the standard protocol: BPR-style ranking of true vs corrupted
+    triplets for training; *filtered* tail ranking (other known true
+    tails masked) for evaluation.
+    """
+
+    def __init__(self, config: Optional[LinkPredConfig] = None):
+        self.config = config or LinkPredConfig()
+        if self.config.scorer not in SCORERS:
+            raise ValueError(
+                f"unknown scorer {self.config.scorer!r}; "
+                f"choose from {sorted(SCORERS)}")
+        self.rng = np.random.default_rng(self.config.seed)
+        self.model: Optional[TripletScorer] = None
+        self._known: Dict[Tuple[int, int], Set[int]] = {}
+        self.losses: List[float] = []
+
+    # ------------------------------------------------------------------
+    def fit(self, kg: KnowledgeGraph,
+            triplets: Optional[np.ndarray] = None) -> "LinkPredictor":
+        """Train on ``triplets`` (default: all of ``kg``'s triplets)."""
+        config = self.config
+        self.model = SCORERS[config.scorer](
+            kg.num_entities, kg.num_relations, config.dim,
+            rng=np.random.default_rng(config.seed))
+        if triplets is None:
+            triplets = np.column_stack([kg.heads, kg.relations, kg.tails])
+        triplets = np.asarray(triplets, dtype=np.int64)
+        if triplets.size == 0:
+            raise ValueError("no training triplets")
+
+        self._known = {}
+        for head, relation, tail in triplets:
+            self._known.setdefault((int(head), int(relation)), set()).add(int(tail))
+
+        optimizer = Adam(self.model.parameters(), lr=config.learning_rate,
+                         weight_decay=config.weight_decay)
+        num = triplets.shape[0]
+        self.losses = []
+        for _ in range(config.epochs):
+            order = self.rng.permutation(num)
+            epoch_losses = []
+            for start in range(0, num, config.batch_size):
+                batch = triplets[order[start:start + config.batch_size]]
+                repeated = np.repeat(batch, config.num_negatives, axis=0)
+                corrupted = self.rng.integers(
+                    0, kg.num_entities, size=repeated.shape[0])
+                true_scores = self.model.score(repeated[:, 0], repeated[:, 1],
+                                               repeated[:, 2])
+                false_scores = self.model.score(repeated[:, 0], repeated[:, 1],
+                                                corrupted)
+                loss = -log_sigmoid(true_scores - false_scores).mean()
+                optimizer.zero_grad()
+                loss.backward()
+                optimizer.step()
+                epoch_losses.append(loss.item())
+            self.losses.append(float(np.mean(epoch_losses)))
+        return self
+
+    # ------------------------------------------------------------------
+    def rank_tail(self, head: int, relation: int, tail: int) -> int:
+        """Filtered rank (1-based) of the true tail among all entities."""
+        if self.model is None:
+            raise RuntimeError("fit() must be called first")
+        scores = self.model.score_all_tails(head, relation)
+        known = self._known.get((int(head), int(relation)), set())
+        for other in known:
+            if other != tail:
+                scores[other] = -np.inf
+        target = scores[tail]
+        return int((scores > target).sum()) + 1
+
+    def evaluate(self, test_triplets: np.ndarray) -> RankingResult:
+        """Filtered MRR / Hits@K over ``test_triplets`` (N × 3)."""
+        test_triplets = np.asarray(test_triplets, dtype=np.int64)
+        if test_triplets.size == 0:
+            raise ValueError("no test triplets")
+        ranks = np.asarray([
+            self.rank_tail(int(h), int(r), int(t))
+            for h, r, t in test_triplets
+        ], dtype=np.float64)
+        return RankingResult(
+            mrr=float((1.0 / ranks).mean()),
+            hits_at_1=float((ranks <= 1).mean()),
+            hits_at_3=float((ranks <= 3).mean()),
+            hits_at_10=float((ranks <= 10).mean()),
+            num_triplets=int(ranks.size),
+        )
+
+
+def split_triplets(kg: KnowledgeGraph, test_fraction: float = 0.1,
+                   seed: int = 0) -> Tuple[np.ndarray, np.ndarray]:
+    """Random train/test division of a KG's triplets."""
+    if not 0.0 < test_fraction < 1.0:
+        raise ValueError("test_fraction must be in (0, 1)")
+    rng = np.random.default_rng(seed)
+    triplets = np.column_stack([kg.heads, kg.relations, kg.tails])
+    order = rng.permutation(triplets.shape[0])
+    cut = max(1, int(round(triplets.shape[0] * test_fraction)))
+    return triplets[order[cut:]], triplets[order[:cut]]

@@ -1,0 +1,7 @@
+"""Personalized PageRank over the collaborative KG (§IV-C2)."""
+
+from .pagerank import (PPRScores, personalized_pagerank,
+                       personalized_pagerank_batch, top_k_items_by_ppr)
+
+__all__ = ["personalized_pagerank", "personalized_pagerank_batch",
+           "PPRScores", "top_k_items_by_ppr"]

@@ -1,0 +1,11 @@
+"""Subgraph extraction and pruning (U-I subgraphs, user-centric graphs)."""
+
+from .computation_graph import (ComputationGraph, LayerEdges,
+                                build_ui_computation_graph,
+                                build_user_centric_graph, ui_subgraph_layers)
+
+__all__ = [
+    "ComputationGraph", "LayerEdges",
+    "build_user_centric_graph", "build_ui_computation_graph",
+    "ui_subgraph_layers",
+]

@@ -1,0 +1,128 @@
+"""Tests for analysis utilities: charts, diagnostics, hyperparam search."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import (ascii_bar_chart, ascii_curve,
+                            computation_graph_stats, dataset_report,
+                            degree_histogram, reach_statistics)
+from repro.data import lastfm_like, traditional_split
+from repro.experiments.search import (DEFAULT_KUCNET_GRID, grid,
+                                      search_kucnet)
+from repro.sampling import build_user_centric_graph
+
+
+@pytest.fixture(scope="module")
+def setup():
+    dataset = lastfm_like(seed=0, scale=0.2)
+    split = traditional_split(dataset, seed=0)
+    return dataset, split, dataset.build_ckg(split.train)
+
+
+class TestCharts:
+    def test_curve_renders_all_series(self):
+        chart = ascii_curve({
+            "KUCNet": [(0, 0.1), (1, 0.5), (2, 0.6)],
+            "KGAT": [(0, 0.05), (1, 0.2), (2, 0.3)],
+        })
+        assert "*" in chart
+        assert "o" in chart
+        assert "KUCNet" in chart
+        assert "KGAT" in chart
+
+    def test_curve_empty(self):
+        assert ascii_curve({}) == "(no data)"
+        assert ascii_curve({"a": []}) == "(no data)"
+
+    def test_curve_constant_series(self):
+        chart = ascii_curve({"flat": [(0, 1.0), (1, 1.0)]})
+        assert "*" in chart
+
+    def test_bar_chart(self):
+        chart = ascii_bar_chart({"KUCNet": 10_000, "KGAT": 26_000},
+                                label="params")
+        assert "params" in chart
+        assert chart.count("#") > 0
+        lines = chart.splitlines()
+        kgat_line = next(line for line in lines if line.startswith("KGAT"))
+        kucnet_line = next(line for line in lines if line.startswith("KUCNet"))
+        assert kgat_line.count("#") > kucnet_line.count("#")
+
+    def test_bar_chart_empty(self):
+        assert ascii_bar_chart({}) == "(no data)"
+
+
+class TestDiagnostics:
+    def test_degree_histogram(self, setup):
+        _, _, ckg = setup
+        summary = degree_histogram(ckg)
+        assert summary["mean"] > 0
+        assert summary["max"] >= summary["p99"] >= summary["p50"]
+
+    def test_computation_graph_stats(self, setup):
+        _, _, ckg = setup
+        graph = build_user_centric_graph(ckg, [0, 1], depth=3, k=None)
+        stats = computation_graph_stats(graph)
+        assert len(stats.nodes_per_layer) == 4
+        assert len(stats.edges_per_layer) == 3
+        assert stats.total_edges == graph.total_edges()
+        assert stats.nodes_per_layer[0] == 2  # one row per user slot
+
+    def test_reach_increases_with_depth(self, setup):
+        _, _, ckg = setup
+        shallow = reach_statistics(ckg, [0, 1, 2], depth=2)
+        deep = reach_statistics(ckg, [0, 1, 2], depth=4)
+        assert deep["mean_item_reach"] >= shallow["mean_item_reach"]
+        assert 0.0 <= shallow["mean_item_reach"] <= 1.0
+
+    def test_dataset_report(self, setup):
+        dataset, split, _ = setup
+        report = dataset_report(dataset, split)
+        assert "lastfm_like" in report
+        assert "out-degree" in report
+        assert "triplets per item" in report
+
+
+class TestSearch:
+    def test_grid_expansion(self):
+        combos = grid({"a": [1, 2], "b": ["x"]})
+        assert len(combos) == 2
+        assert {"a": 1, "b": "x"} in combos
+
+    def test_default_grid_matches_paper_space(self):
+        assert set(DEFAULT_KUCNET_GRID) == {"learning_rate", "k", "depth",
+                                            "activation"}
+        assert DEFAULT_KUCNET_GRID["depth"] == [3, 4, 5]
+        assert set(DEFAULT_KUCNET_GRID["activation"]) == {"identity", "tanh",
+                                                          "relu"}
+
+    def test_search_selects_lowest_loss(self, setup):
+        _, split, _ = setup
+        result = search_kucnet(
+            split,
+            search_space={"learning_rate": [1e-5, 5e-3], "depth": [3]},
+            epochs=2, seed=0)
+        assert len(result.trials) == 2
+        assert result.best.final_loss == min(t.final_loss
+                                             for t in result.trials)
+        # a sane learning rate must beat a hopeless one
+        assert result.best.params["learning_rate"] == 5e-3
+
+    def test_max_trials_caps(self, setup):
+        _, split, _ = setup
+        result = search_kucnet(
+            split, search_space={"learning_rate": [1e-3, 3e-3, 5e-3]},
+            epochs=1, max_trials=2)
+        assert len(result.trials) == 2
+
+    def test_empty_space_rejected(self, setup):
+        _, split, _ = setup
+        with pytest.raises(ValueError):
+            search_kucnet(split, search_space={"learning_rate": []})
+
+    def test_summary_format(self, setup):
+        _, split, _ = setup
+        result = search_kucnet(split,
+                               search_space={"learning_rate": [3e-3]},
+                               epochs=1)
+        assert "best loss" in result.summary()

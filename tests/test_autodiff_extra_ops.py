@@ -1,0 +1,86 @@
+"""Tests for the extended Tensor ops: abs, clip, minimum, where."""
+
+import numpy as np
+import pytest
+
+from repro.autodiff import Tensor, check_gradients, where
+
+RNG = np.random.default_rng(5)
+
+
+def make(shape):
+    return Tensor(RNG.normal(size=shape), requires_grad=True)
+
+
+class TestAbs:
+    def test_forward(self):
+        x = Tensor(np.array([-2.0, 0.0, 3.0]))
+        assert x.abs().data.tolist() == [2.0, 0.0, 3.0]
+
+    def test_gradcheck_away_from_zero(self):
+        x = Tensor(RNG.normal(size=(4, 3)) + np.sign(RNG.normal(size=(4, 3))),
+                   requires_grad=True)
+        check_gradients(lambda: x.abs().sum(), [x])
+
+
+class TestClip:
+    def test_forward(self):
+        x = Tensor(np.array([-5.0, 0.5, 5.0]))
+        assert x.clip(-1.0, 1.0).data.tolist() == [-1.0, 0.5, 1.0]
+
+    def test_gradient_zero_outside(self):
+        x = Tensor(np.array([-5.0, 0.5, 5.0]), requires_grad=True)
+        x.clip(-1.0, 1.0).sum().backward()
+        assert x.grad.tolist() == [0.0, 1.0, 0.0]
+
+    def test_reversed_bounds_rejected(self):
+        with pytest.raises(ValueError):
+            make((2,)).clip(1.0, -1.0)
+
+    def test_gradcheck_interior(self):
+        x = Tensor(RNG.uniform(-0.5, 0.5, size=(3, 3)), requires_grad=True)
+        check_gradients(lambda: (x.clip(-1.0, 1.0) ** 2.0).sum(), [x])
+
+
+class TestMinimum:
+    def test_forward(self):
+        a = Tensor(np.array([1.0, 5.0]))
+        b = Tensor(np.array([3.0, 2.0]))
+        assert a.minimum(b).data.tolist() == [1.0, 2.0]
+
+    def test_gradient_routing(self):
+        a = Tensor(np.array([1.0, 5.0]), requires_grad=True)
+        b = Tensor(np.array([3.0, 2.0]), requires_grad=True)
+        a.minimum(b).sum().backward()
+        assert a.grad.tolist() == [1.0, 0.0]
+        assert b.grad.tolist() == [0.0, 1.0]
+
+    def test_gradcheck(self):
+        a, b = make((4,)), make((4,))
+        check_gradients(lambda: (a.minimum(b) ** 2.0).sum(), [a, b])
+
+    def test_scalar_coercion(self):
+        a = Tensor(np.array([1.0, 5.0]), requires_grad=True)
+        out = a.minimum(Tensor(3.0))
+        assert out.data.tolist() == [1.0, 3.0]
+
+
+class TestWhere:
+    def test_forward(self):
+        condition = np.array([True, False, True])
+        a = Tensor(np.array([1.0, 1.0, 1.0]))
+        b = Tensor(np.array([9.0, 9.0, 9.0]))
+        assert where(condition, a, b).data.tolist() == [1.0, 9.0, 1.0]
+
+    def test_gradients_split_by_condition(self):
+        condition = np.array([True, False])
+        a = Tensor(np.array([1.0, 1.0]), requires_grad=True)
+        b = Tensor(np.array([2.0, 2.0]), requires_grad=True)
+        where(condition, a, b).sum().backward()
+        assert a.grad.tolist() == [1.0, 0.0]
+        assert b.grad.tolist() == [0.0, 1.0]
+
+    def test_gradcheck(self):
+        condition = RNG.random(6) > 0.5
+        a, b = make((6,)), make((6,))
+        check_gradients(lambda: (where(condition, a, b) ** 2.0).sum(), [a, b])

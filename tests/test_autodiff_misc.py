@@ -1,0 +1,110 @@
+"""Coverage for remaining autodiff corners: init, modules, optimizer edges."""
+
+import numpy as np
+import pytest
+
+from repro.autodiff import (SGD, Embedding, Linear, Module, Parameter, ReLU,
+                            Sequential, Tanh, Tensor)
+from repro.autodiff import init as ad_init
+
+
+class TestInit:
+    def test_xavier_uniform_bounds(self):
+        rng = np.random.default_rng(0)
+        weights = ad_init.xavier_uniform((64, 32), rng=rng)
+        bound = np.sqrt(6.0 / (64 + 32))
+        assert np.all(np.abs(weights) <= bound)
+        assert weights.std() > 0.1 * bound  # actually spread out
+
+    def test_xavier_normal_std(self):
+        rng = np.random.default_rng(0)
+        weights = ad_init.xavier_normal((400, 400), rng=rng)
+        expected = np.sqrt(2.0 / 800)
+        assert weights.std() == pytest.approx(expected, rel=0.1)
+
+    def test_vector_shape(self):
+        rng = np.random.default_rng(0)
+        vector = ad_init.xavier_uniform((7,), rng=rng)
+        assert vector.shape == (7,)
+
+    def test_empty_shape_rejected(self):
+        with pytest.raises(ValueError):
+            ad_init.xavier_uniform((), rng=np.random.default_rng(0))
+
+
+class TestModules:
+    def test_sequential_with_activations(self):
+        rng = np.random.default_rng(0)
+        net = Sequential(Linear(3, 5, rng=rng), ReLU(), Linear(5, 2, rng=rng),
+                         Tanh())
+        out = net(Tensor(np.ones((4, 3))))
+        assert out.shape == (4, 2)
+        assert np.all(np.abs(out.data) <= 1.0)  # tanh range
+
+    def test_state_dict_shape_mismatch_rejected(self):
+        layer = Linear(3, 5)
+        bad_state = layer.state_dict()
+        bad_state["weight"] = np.zeros((2, 2))
+        with pytest.raises(ValueError):
+            layer.load_state_dict(bad_state)
+
+    def test_embedding_custom_scale(self):
+        emb = Embedding(100, 8, rng=np.random.default_rng(0), scale=0.01)
+        assert np.abs(emb.weight.data).std() < 0.02
+
+    def test_forward_not_implemented(self):
+        with pytest.raises(NotImplementedError):
+            Module()(1)
+
+    def test_parameter_repr_includes_name(self):
+        param = Parameter(np.zeros(3), name="bias")
+        assert "bias" in repr(param)
+
+
+class TestOptimizerEdges:
+    def test_sgd_without_momentum_no_velocity_effect(self):
+        w1 = Parameter(np.ones(3))
+        w2 = Parameter(np.ones(3))
+        plain = SGD([w1], lr=0.1)
+        with_momentum = SGD([w2], lr=0.1, momentum=0.9)
+        for _ in range(3):
+            for w, opt in ((w1, plain), (w2, with_momentum)):
+                opt.zero_grad()
+                (w * w).sum().backward()
+                opt.step()
+        # momentum accelerates: w2 moved further
+        assert np.linalg.norm(w2.data) < np.linalg.norm(w1.data)
+
+    def test_sgd_weight_decay(self):
+        w = Parameter(np.ones(2))
+        opt = SGD([w], lr=0.1, weight_decay=1.0)
+        opt.zero_grad()
+        (w.sum() * 0.0).backward()  # zero task gradient
+        opt.step()
+        # decay alone shrinks the weights: w -= lr * wd * w
+        assert np.allclose(w.data, 0.9)
+
+
+class TestTensorMisc:
+    def test_item_on_scalar(self):
+        assert Tensor(np.array(3.5)).item() == 3.5
+        assert Tensor(np.array([2.0])).item() == 2.0
+
+    def test_len(self):
+        assert len(Tensor(np.zeros((5, 2)))) == 5
+
+    def test_repr(self):
+        text = repr(Tensor(np.zeros((2, 3)), requires_grad=True))
+        assert "shape=(2, 3)" in text
+        assert "requires_grad=True" in text
+
+    def test_pow_non_scalar_rejected(self):
+        with pytest.raises(TypeError):
+            Tensor(np.ones(2)) ** Tensor(np.ones(2))
+
+    def test_rsub_rdiv(self):
+        x = Tensor(np.array([2.0]), requires_grad=True)
+        out = (10.0 - x) / x
+        out.backward(np.array([1.0]))
+        # d/dx (10 - x)/x = -10/x^2 = -2.5 at x=2
+        assert x.grad[0] == pytest.approx(-2.5)

@@ -1,0 +1,165 @@
+"""Tests for Module/Parameter discovery, layers, and optimizers."""
+
+import numpy as np
+import pytest
+
+from repro.autodiff import (Adam, Dropout, Embedding, Linear, Module,
+                            Parameter, ReLU, SGD, Sequential, Tensor)
+
+
+class TinyNet(Module):
+    def __init__(self):
+        super().__init__()
+        self.fc1 = Linear(4, 8)
+        self.fc2 = Linear(8, 1)
+        self.extra = Parameter(np.zeros(3))
+        self.blocks = [Linear(2, 2), Linear(2, 2)]
+        self.named = {"head": Linear(3, 3)}
+
+    def forward(self, x):
+        return self.fc2(self.fc1(x).relu())
+
+
+class TestModule:
+    def test_parameter_discovery_recurses(self):
+        net = TinyNet()
+        names = {name for name, _ in net.named_parameters()}
+        assert "fc1.weight" in names
+        assert "fc1.bias" in names
+        assert "extra" in names
+        assert "blocks.0.weight" in names
+        assert "named.head.weight" in names
+
+    def test_num_parameters(self):
+        layer = Linear(4, 8)
+        assert layer.num_parameters() == 4 * 8 + 8
+
+    def test_linear_no_bias(self):
+        layer = Linear(4, 8, bias=False)
+        assert layer.num_parameters() == 32
+
+    def test_state_dict_roundtrip(self):
+        net1, net2 = TinyNet(), TinyNet()
+        net2.load_state_dict(net1.state_dict())
+        x = Tensor(np.ones((2, 4)))
+        assert np.allclose(net1(x).data, net2(x).data)
+
+    def test_load_state_dict_rejects_mismatch(self):
+        net = TinyNet()
+        state = net.state_dict()
+        state.pop("extra")
+        with pytest.raises(KeyError):
+            net.load_state_dict(state)
+
+    def test_train_eval_propagates(self):
+        seq = Sequential(Linear(2, 2), Dropout(0.5), ReLU())
+        seq.eval()
+        assert not seq.layers[1].training
+        seq.train()
+        assert seq.layers[1].training
+
+    def test_zero_grad(self):
+        net = TinyNet()
+        out = net(Tensor(np.ones((2, 4)))).sum()
+        out.backward()
+        assert net.fc1.weight.grad is not None
+        net.zero_grad()
+        assert net.fc1.weight.grad is None
+
+
+class TestEmbedding:
+    def test_lookup_shape(self):
+        emb = Embedding(10, 4, rng=np.random.default_rng(0))
+        out = emb(np.array([0, 3, 3]))
+        assert out.shape == (3, 4)
+        assert np.allclose(out.data[1], out.data[2])
+
+    def test_gradient_only_on_touched_rows(self):
+        emb = Embedding(10, 4, rng=np.random.default_rng(0))
+        emb(np.array([2, 2, 5])).sum().backward()
+        grad = emb.weight.grad
+        assert np.allclose(grad[2], 2.0)
+        assert np.allclose(grad[5], 1.0)
+        assert np.allclose(grad[0], 0.0)
+
+
+class TestOptimizers:
+    @staticmethod
+    def _quadratic_problem():
+        # Minimize ||w - target||^2; both optimizers should converge.
+        target = np.array([1.0, -2.0, 3.0])
+        w = Parameter(np.zeros(3))
+        return w, target
+
+    def test_sgd_converges(self):
+        w, target = self._quadratic_problem()
+        opt = SGD([w], lr=0.1)
+        for _ in range(200):
+            opt.zero_grad()
+            loss = ((w - Tensor(target)) ** 2.0).sum()
+            loss.backward()
+            opt.step()
+        assert np.allclose(w.data, target, atol=1e-3)
+
+    def test_sgd_momentum_converges(self):
+        w, target = self._quadratic_problem()
+        opt = SGD([w], lr=0.05, momentum=0.9)
+        for _ in range(200):
+            opt.zero_grad()
+            ((w - Tensor(target)) ** 2.0).sum().backward()
+            opt.step()
+        assert np.allclose(w.data, target, atol=1e-3)
+
+    def test_adam_converges(self):
+        w, target = self._quadratic_problem()
+        opt = Adam([w], lr=0.1)
+        for _ in range(300):
+            opt.zero_grad()
+            ((w - Tensor(target)) ** 2.0).sum().backward()
+            opt.step()
+        assert np.allclose(w.data, target, atol=1e-2)
+
+    def test_weight_decay_shrinks_solution(self):
+        w1, target = self._quadratic_problem()
+        w2 = Parameter(np.zeros(3))
+        plain, decayed = Adam([w1], lr=0.1), Adam([w2], lr=0.1, weight_decay=1.0)
+        for _ in range(300):
+            for w, opt in ((w1, plain), (w2, decayed)):
+                opt.zero_grad()
+                ((w - Tensor(target)) ** 2.0).sum().backward()
+                opt.step()
+        assert np.linalg.norm(w2.data) < np.linalg.norm(w1.data)
+
+    def test_empty_params_raises(self):
+        with pytest.raises(ValueError):
+            Adam([])
+
+    def test_step_skips_missing_grads(self):
+        w = Parameter(np.ones(2))
+        opt = Adam([w], lr=0.1)
+        opt.step()  # no backward happened; must not crash
+        assert np.allclose(w.data, 1.0)
+
+
+class TestTrainingIntegration:
+    def test_learn_xor(self):
+        """End-to-end: a 2-layer MLP learns XOR with Adam."""
+        rng = np.random.default_rng(42)
+        x = np.array([[0, 0], [0, 1], [1, 0], [1, 1]], dtype=float)
+        y = np.array([0.0, 1.0, 1.0, 0.0])
+        net = Sequential(Linear(2, 8, rng=rng), Tanh_(), Linear(8, 1, rng=rng))
+        opt = Adam(net.parameters(), lr=0.05)
+        for _ in range(500):
+            opt.zero_grad()
+            logits = net(Tensor(x)).reshape(4)
+            from repro.autodiff import binary_cross_entropy_with_logits
+            loss = binary_cross_entropy_with_logits(logits, y)
+            loss.backward()
+            opt.step()
+        preds = (net(Tensor(x)).data.reshape(4) > 0).astype(float)
+        assert np.array_equal(preds, y)
+
+
+class Tanh_(Module):
+    def forward(self, x):
+        return x.tanh()

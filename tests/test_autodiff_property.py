@@ -1,0 +1,96 @@
+"""Property-based gradient checks with hypothesis.
+
+Random compositions of engine ops must match finite-difference gradients.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.autodiff import (Tensor, check_gradients, gather_rows,
+                            segment_softmax, segment_sum, softmax)
+
+
+finite_floats = st.floats(min_value=-3.0, max_value=3.0,
+                          allow_nan=False, allow_infinity=False)
+
+
+def arrays(shape):
+    return hnp.arrays(np.float64, shape, elements=finite_floats)
+
+
+@settings(max_examples=25, deadline=None)
+@given(arrays((3, 4)), arrays((3, 4)))
+def test_elementwise_chain_grad(a, b):
+    ta = Tensor(a, requires_grad=True)
+    tb = Tensor(b, requires_grad=True)
+    check_gradients(lambda: ((ta * tb).tanh() + ta.sigmoid()).sum(), [ta, tb],
+                    atol=1e-4, rtol=1e-3)
+
+
+@settings(max_examples=25, deadline=None)
+@given(arrays((3, 4)), arrays((4, 2)))
+def test_matmul_chain_grad(a, b):
+    ta = Tensor(a, requires_grad=True)
+    tb = Tensor(b, requires_grad=True)
+    check_gradients(lambda: ((ta @ tb).sigmoid() ** 2.0).sum(), [ta, tb],
+                    atol=1e-4, rtol=1e-3)
+
+
+@settings(max_examples=25, deadline=None)
+@given(arrays((6, 3)),
+       hnp.arrays(np.int64, (6,), elements=st.integers(min_value=0, max_value=3)))
+def test_segment_sum_grad(x, seg):
+    tx = Tensor(x, requires_grad=True)
+    check_gradients(lambda: (segment_sum(tx, seg, 4).tanh() ** 2.0).sum(), [tx],
+                    atol=1e-4, rtol=1e-3)
+
+
+@settings(max_examples=25, deadline=None)
+@given(arrays((5, 2)),
+       hnp.arrays(np.int64, (7,), elements=st.integers(min_value=0, max_value=4)))
+def test_gather_grad(x, idx):
+    tx = Tensor(x, requires_grad=True)
+    check_gradients(lambda: (gather_rows(tx, idx).sigmoid()).sum(), [tx],
+                    atol=1e-4, rtol=1e-3)
+
+
+@settings(max_examples=25, deadline=None)
+@given(arrays((4, 5)))
+def test_softmax_preserves_probability_mass(x):
+    out = softmax(Tensor(x), axis=-1)
+    assert np.allclose(out.data.sum(axis=-1), 1.0)
+    assert np.all(out.data >= 0)
+
+
+@settings(max_examples=25, deadline=None)
+@given(arrays((8,)),
+       hnp.arrays(np.int64, (8,), elements=st.integers(min_value=0, max_value=2)))
+def test_segment_softmax_mass(x, seg):
+    out = segment_softmax(Tensor(x), seg, 3)
+    sums = np.zeros(3)
+    np.add.at(sums, seg, out.data)
+    present = np.unique(seg)
+    assert np.allclose(sums[present], 1.0)
+
+
+@settings(max_examples=20, deadline=None)
+@given(arrays((3, 3)))
+def test_grad_of_sum_is_ones(x):
+    tx = Tensor(x, requires_grad=True)
+    tx.sum().backward()
+    assert np.allclose(tx.grad, 1.0)
+
+
+@settings(max_examples=20, deadline=None)
+@given(arrays((3, 4)), arrays((3, 4)))
+def test_addition_commutes_in_grad(a, b):
+    ta1 = Tensor(a, requires_grad=True)
+    tb1 = Tensor(b, requires_grad=True)
+    ((ta1 + tb1) * (ta1 + tb1)).sum().backward()
+    ta2 = Tensor(a, requires_grad=True)
+    tb2 = Tensor(b, requires_grad=True)
+    ((tb2 + ta2) * (tb2 + ta2)).sum().backward()
+    assert np.allclose(ta1.grad, ta2.grad)
+    assert np.allclose(tb1.grad, tb2.grad)

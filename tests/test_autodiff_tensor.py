@@ -1,0 +1,177 @@
+"""Unit tests for the core Tensor arithmetic and its gradients."""
+
+import numpy as np
+import pytest
+
+from repro.autodiff import Tensor, check_gradients
+
+
+RNG = np.random.default_rng(0)
+
+
+def make(shape, requires_grad=True):
+    return Tensor(RNG.normal(size=shape), requires_grad=requires_grad)
+
+
+class TestForward:
+    def test_add_matches_numpy(self):
+        a, b = make((3, 4)), make((3, 4))
+        assert np.allclose((a + b).data, a.data + b.data)
+
+    def test_add_broadcasts(self):
+        a, b = make((3, 4)), make((4,))
+        assert (a + b).shape == (3, 4)
+
+    def test_scalar_right_ops(self):
+        a = make((2, 2))
+        assert np.allclose((2.0 * a).data, 2.0 * a.data)
+        assert np.allclose((1.0 - a).data, 1.0 - a.data)
+        assert np.allclose((1.0 / (a + 10.0)).data, 1.0 / (a.data + 10.0))
+
+    def test_matmul_shapes(self):
+        a, b = make((3, 4)), make((4, 5))
+        assert (a @ b).shape == (3, 5)
+
+    def test_matvec(self):
+        a, v = make((3, 4)), make((4,))
+        assert (a @ v).shape == (3,)
+
+    def test_vecmat(self):
+        v, a = make((3,)), make((3, 4))
+        assert (v @ a).shape == (4,)
+
+    def test_reductions(self):
+        a = make((3, 4))
+        assert (a.sum()).shape == ()
+        assert a.sum(axis=0).shape == (4,)
+        assert a.mean(axis=1, keepdims=True).shape == (3, 1)
+        assert np.allclose(a.mean().item(), a.data.mean())
+
+    def test_transpose_reshape(self):
+        a = make((3, 4))
+        assert a.T.shape == (4, 3)
+        assert a.reshape(4, 3).shape == (4, 3)
+        assert a.reshape((12,)).shape == (12,)
+
+    def test_sigmoid_extreme_values_stable(self):
+        x = Tensor(np.array([-1000.0, 0.0, 1000.0]))
+        y = x.sigmoid().data
+        assert np.all(np.isfinite(y))
+        assert y[0] == pytest.approx(0.0)
+        assert y[1] == pytest.approx(0.5)
+        assert y[2] == pytest.approx(1.0)
+
+    def test_softplus_extreme_values_stable(self):
+        x = Tensor(np.array([-1000.0, 1000.0]))
+        y = x.softplus().data
+        assert np.all(np.isfinite(y))
+        assert y[0] == pytest.approx(0.0, abs=1e-12)
+        assert y[1] == pytest.approx(1000.0)
+
+    def test_backward_requires_scalar(self):
+        a = make((2, 2))
+        with pytest.raises(ValueError):
+            a.backward()
+
+    def test_detach_cuts_graph(self):
+        a = make((2, 2))
+        b = (a * 2.0).detach()
+        (b.sum()).backward()
+        assert a.grad is None
+
+
+class TestBackward:
+    def test_add_grad(self):
+        a, b = make((3, 4)), make((3, 4))
+        check_gradients(lambda: (a + b).sum(), [a, b])
+
+    def test_broadcast_add_grad(self):
+        a, b = make((3, 4)), make((4,))
+        check_gradients(lambda: (a + b).sum(), [a, b])
+
+    def test_broadcast_scalar_shape_grad(self):
+        a, b = make((3, 4)), make((1, 4))
+        check_gradients(lambda: (a * b).sum(), [a, b])
+
+    def test_mul_grad(self):
+        a, b = make((3, 4)), make((3, 4))
+        check_gradients(lambda: (a * b * a).sum(), [a, b])
+
+    def test_div_grad(self):
+        a, b = make((3, 3)), Tensor(RNG.normal(size=(3, 3)) + 5.0, requires_grad=True)
+        check_gradients(lambda: (a / b).sum(), [a, b])
+
+    def test_pow_grad(self):
+        a = Tensor(np.abs(RNG.normal(size=(3, 3))) + 0.5, requires_grad=True)
+        check_gradients(lambda: (a**3.0).sum(), [a])
+
+    def test_matmul_grad(self):
+        a, b = make((3, 4)), make((4, 2))
+        check_gradients(lambda: (a @ b).sum(), [a, b])
+
+    def test_matvec_grad(self):
+        a, v = make((3, 4)), make((4,))
+        check_gradients(lambda: (a @ v).sum(), [a, v])
+
+    def test_vecmat_grad(self):
+        v, a = make((3,)), make((3, 4))
+        check_gradients(lambda: (v @ a).sum(), [v, a])
+
+    def test_nonlinearity_grads(self):
+        a = make((4, 3))
+        check_gradients(lambda: a.sigmoid().sum(), [a])
+        check_gradients(lambda: a.tanh().sum(), [a])
+        check_gradients(lambda: a.exp().sum(), [a])
+        check_gradients(lambda: a.softplus().sum(), [a])
+
+    def test_relu_grad_away_from_kink(self):
+        a = Tensor(RNG.normal(size=(4, 3)) + np.sign(RNG.normal(size=(4, 3))) * 0.5,
+                   requires_grad=True)
+        check_gradients(lambda: a.relu().sum(), [a])
+
+    def test_log_grad(self):
+        a = Tensor(np.abs(RNG.normal(size=(3, 3))) + 1.0, requires_grad=True)
+        check_gradients(lambda: a.log().sum(), [a])
+
+    def test_sum_axis_grad(self):
+        a = make((3, 4))
+        check_gradients(lambda: (a.sum(axis=0) ** 2.0).sum(), [a])
+
+    def test_mean_grad(self):
+        a = make((3, 4))
+        check_gradients(lambda: (a.mean(axis=1) ** 2.0).sum(), [a])
+
+    def test_max_grad(self):
+        a = Tensor(np.arange(12, dtype=float).reshape(3, 4), requires_grad=True)
+        check_gradients(lambda: a.max(axis=1).sum(), [a])
+
+    def test_transpose_grad(self):
+        a = make((3, 4))
+        b = make((3, 4))
+        check_gradients(lambda: (a.T @ b).sum(), [a, b])
+
+    def test_reshape_grad(self):
+        a = make((3, 4))
+        check_gradients(lambda: (a.reshape(2, 6) ** 2.0).sum(), [a])
+
+    def test_grad_accumulates_across_uses(self):
+        a = make((3,))
+        out = (a * a).sum() + a.sum()
+        out.backward()
+        assert np.allclose(a.grad, 2 * a.data + 1.0)
+
+    def test_zero_grad(self):
+        a = make((3,))
+        (a.sum()).backward()
+        assert a.grad is not None
+        a.zero_grad()
+        assert a.grad is None
+
+    def test_deep_chain_does_not_recurse(self):
+        # Regression guard: 5000-op chain must not hit recursion limits.
+        x = Tensor(np.array([1.0]), requires_grad=True)
+        y = x
+        for _ in range(5000):
+            y = y + 0.001
+        y.sum().backward()
+        assert np.allclose(x.grad, 1.0)

@@ -1,0 +1,67 @@
+"""Tests for shared baseline infrastructure helpers."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import MF, BaselineConfig
+from repro.baselines.base import sample_fixed_neighbors
+from repro.data import Dataset, lastfm_like, traditional_split
+from repro.graph import KnowledgeGraph, UserItemGraph
+
+
+class TestSampleFixedNeighbors:
+    def test_exact_size_without_replacement(self):
+        rng = np.random.default_rng(0)
+        out = sample_fixed_neighbors(rng, np.arange(100), 10)
+        assert out.shape == (10,)
+        assert len(set(out.tolist())) == 10  # no replacement needed
+
+    def test_with_replacement_when_short(self):
+        rng = np.random.default_rng(0)
+        out = sample_fixed_neighbors(rng, np.asarray([7, 8]), 10)
+        assert out.shape == (10,)
+        assert set(out.tolist()) <= {7, 8}
+
+    def test_empty_raises(self):
+        rng = np.random.default_rng(0)
+        with pytest.raises(ValueError):
+            sample_fixed_neighbors(rng, np.empty(0, dtype=np.int64), 3)
+
+
+class TestBPRLoop:
+    def test_empty_training_split_rejected(self):
+        ui = UserItemGraph(2, 2, [(0, 0)])
+        kg = KnowledgeGraph(2, 1, [(0, 0, 1)])
+        dataset = Dataset(name="d", ui_graph=ui, kg=kg,
+                          item_to_entity=np.arange(2))
+        from repro.data import Split
+        empty_train = UserItemGraph(2, 2, [])
+        split = Split(dataset=dataset, train=empty_train,
+                      test_positives={0: {0}}, setting="traditional")
+        with pytest.raises(ValueError):
+            MF(BaselineConfig(dim=4, epochs=1, seed=0)).fit(split)
+
+    def test_negatives_never_positive(self):
+        split = traditional_split(lastfm_like(seed=0, scale=0.2), seed=0)
+        model = MF(BaselineConfig(dim=4, epochs=1, seed=0))
+        model.split = split
+        model.build(split)
+        users = split.train.users[:50]
+        negatives = model._sample_negatives(split, users,
+                                            split.dataset.num_items)
+        for user, negative in zip(users, negatives):
+            assert not split.train.has_interaction(int(user), int(negative))
+
+    def test_train_seconds_recorded(self):
+        split = traditional_split(lastfm_like(seed=0, scale=0.2), seed=0)
+        model = MF(BaselineConfig(dim=4, epochs=2, seed=0)).fit(split)
+        assert model.train_seconds > 0
+        assert len(model.epoch_history) == 2
+        # cumulative time is non-decreasing
+        times = [t for _, _, t in model.epoch_history]
+        assert times == sorted(times)
+
+    def test_eval_mode_after_fit(self):
+        split = traditional_split(lastfm_like(seed=0, scale=0.2), seed=0)
+        model = MF(BaselineConfig(dim=4, epochs=1, seed=0)).fit(split)
+        assert not model.training

@@ -1,0 +1,69 @@
+"""Tests for user-side KG support in the CollaborativeKG (§V-D substrate)."""
+
+import numpy as np
+import pytest
+
+from repro.graph import CollaborativeKG, KnowledgeGraph, UserItemGraph
+
+
+@pytest.fixture
+def parts():
+    ui = UserItemGraph(3, 2, [(0, 0), (1, 1), (2, 0)])
+    kg = KnowledgeGraph(4, 1, [(0, 0, 2), (1, 0, 3)])
+    return ui, kg
+
+
+class TestUserTriplets:
+    def test_user_edges_present_with_reverses(self, parts):
+        ui, kg = parts
+        ckg = CollaborativeKG.build(ui, kg,
+                                    user_triplets=[(0, 0, 1), (1, 0, 2)],
+                                    num_user_relations=1)
+        heads, rels, tails = ckg.out_edges(np.array([0]))
+        user_rel = 1 + kg.num_relations  # after interact + KG relations
+        forward = (rels == user_rel) & (tails == 1)
+        assert forward.any()
+        # reverse twin exists on the other endpoint
+        heads1, rels1, tails1 = ckg.out_edges(np.array([1]))
+        assert ((rels1 == ckg.reverse_relation(user_rel)) & (tails1 == 0)).any()
+
+    def test_relation_count_includes_user_relations(self, parts):
+        ui, kg = parts
+        ckg = CollaborativeKG.build(ui, kg, user_triplets=[(0, 0, 1)],
+                                    num_user_relations=1)
+        assert ckg.num_base_relations == 1 + kg.num_relations + 1
+        assert ckg.num_user_relations == 1
+        assert ckg.num_kg_relations == kg.num_relations
+
+    def test_missing_relation_count_rejected(self, parts):
+        ui, kg = parts
+        with pytest.raises(ValueError):
+            CollaborativeKG.build(ui, kg, user_triplets=[(0, 0, 1)])
+
+    def test_unknown_user_rejected(self, parts):
+        ui, kg = parts
+        with pytest.raises(ValueError):
+            CollaborativeKG.build(ui, kg, user_triplets=[(0, 0, 99)],
+                                  num_user_relations=1)
+
+    def test_relation_out_of_range_rejected(self, parts):
+        ui, kg = parts
+        with pytest.raises(ValueError):
+            CollaborativeKG.build(ui, kg, user_triplets=[(0, 5, 1)],
+                                  num_user_relations=1)
+
+    def test_no_user_triplets_default(self, parts):
+        ui, kg = parts
+        ckg = CollaborativeKG.build(ui, kg)
+        assert ckg.num_user_relations == 0
+        assert ckg.num_base_relations == 1 + kg.num_relations
+
+    def test_relation_names_cover_user_relations(self, parts):
+        ui, kg = parts
+        ckg = CollaborativeKG.build(ui, kg, user_triplets=[(0, 0, 1)],
+                                    num_user_relations=1)
+        names = {ckg.relation_name(r) for r in range(ckg.num_relations)}
+        assert "interact" in names
+        assert "-interact" in names
+        # distinct labels for every relation id
+        assert len(names) == ckg.num_relations

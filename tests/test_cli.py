@@ -1,0 +1,54 @@
+"""Tests for the ``python -m repro`` command-line interface."""
+
+import os
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_list_command(self):
+        args = build_parser().parse_args(["list"])
+        assert args.command == "list"
+
+    def test_run_command_args(self):
+        args = build_parser().parse_args(
+            ["run", "table3", "--profile", "full", "--output", "/tmp/x"])
+        assert args.experiment == "table3"
+        assert args.profile == "full"
+
+    def test_invalid_profile_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "table3", "--profile", "huge"])
+
+    def test_missing_command_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+
+class TestMain:
+    def test_list_prints_experiments(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "table3" in out
+        assert "fig6" in out
+
+    def test_run_unknown_experiment(self, capsys):
+        assert main(["run", "table99"]) == 2
+        assert "unknown experiment" in capsys.readouterr().err
+
+    def test_datasets_command(self, tmp_path, capsys):
+        assert main(["datasets", "--output", str(tmp_path), "--scale",
+                     "0.15"]) == 0
+        out = capsys.readouterr().out
+        assert "lastfm_like" in out
+        assert os.path.exists(tmp_path / "lastfm_like" / "interactions.tsv")
+        assert os.path.exists(tmp_path / "disgenet_like" / "user_kg.tsv")
+
+    def test_datasets_roundtrip(self, tmp_path):
+        from repro.data import load_dataset
+        main(["datasets", "--output", str(tmp_path), "--scale", "0.15"])
+        dataset = load_dataset(str(tmp_path / "amazon_book_like"))
+        assert dataset.name == "amazon_book_like"
+        assert dataset.ui_graph.num_interactions > 0

@@ -1,0 +1,172 @@
+"""End-to-end tests for KUCNetRecommender training, variants, explanations."""
+
+import numpy as np
+import pytest
+
+from repro.core import (KUCNetConfig, KUCNetRecommender, TrainConfig,
+                        explain, kucnet_full, kucnet_no_attention,
+                        kucnet_no_ppr, kucnet_random, render_explanation)
+from repro.data import (disgenet_like, lastfm_like, new_item_split,
+                        new_user_split, traditional_split)
+from repro.eval import evaluate, rank_items
+
+
+@pytest.fixture(scope="module")
+def small_split():
+    return traditional_split(lastfm_like(seed=0, scale=0.25), seed=0)
+
+
+@pytest.fixture(scope="module")
+def trained(small_split):
+    rec = KUCNetRecommender(
+        KUCNetConfig(dim=16, depth=3, seed=0),
+        TrainConfig(epochs=4, k=15, seed=0),
+    )
+    rec.fit(small_split)
+    return rec
+
+
+class TestTraining:
+    def test_training_improves_over_untrained(self, small_split, trained):
+        untrained = KUCNetRecommender(
+            KUCNetConfig(dim=16, depth=3, seed=0),
+            TrainConfig(epochs=4, k=15, seed=0),
+        )
+        untrained.prepare(small_split)
+        before = evaluate(untrained, small_split, max_users=40)
+        after = evaluate(trained, small_split, max_users=40)
+        assert after.recall >= before.recall
+        assert after.ndcg > before.ndcg
+
+    def test_loss_decreases(self, trained):
+        losses = [stats.loss for stats in trained.history]
+        assert losses[-1] < losses[0]
+
+    def test_history_recorded(self, trained):
+        assert len(trained.history) == 4
+        assert trained.history[-1].cumulative_seconds >= trained.history[0].seconds
+
+    def test_ppr_preprocessing_timed(self, trained):
+        assert trained.ppr_seconds > 0
+
+    def test_score_users_shape(self, small_split, trained):
+        scores = trained.score_users([0, 1])
+        assert scores.shape == (2, small_split.dataset.num_items)
+
+    def test_score_before_fit_raises(self):
+        rec = KUCNetRecommender()
+        with pytest.raises(RuntimeError):
+            rec.score_users([0])
+
+    def test_callback_invoked(self, small_split):
+        events = []
+        rec = KUCNetRecommender(KUCNetConfig(dim=8, depth=3, seed=0),
+                                TrainConfig(epochs=2, k=10, seed=0))
+        rec.fit(small_split, callback=events.append)
+        assert [e.epoch for e in events] == [0, 1]
+
+    def test_num_parameters(self, trained):
+        assert trained.num_parameters() == trained.model.num_parameters()
+
+
+class TestVariants:
+    def test_names(self):
+        assert kucnet_full().name == "KUCNet"
+        assert kucnet_random().name == "KUCNet-random"
+        assert kucnet_no_attention().name == "KUCNet-w.o.-Attn"
+        assert kucnet_no_ppr().name == "KUCNet-w.o.-PPR"
+
+    def test_random_variant_trains(self, small_split):
+        rec = kucnet_random(KUCNetConfig(dim=8, depth=3, seed=0),
+                            TrainConfig(epochs=2, k=10, seed=0))
+        rec.fit(small_split)
+        result = evaluate(rec, small_split, max_users=20)
+        assert result.recall > 0.0
+
+    def test_no_attention_variant_trains(self, small_split):
+        rec = kucnet_no_attention(KUCNetConfig(dim=8, depth=3, seed=0),
+                                  TrainConfig(epochs=2, k=10, seed=0))
+        rec.fit(small_split)
+        result = evaluate(rec, small_split, max_users=20)
+        assert result.recall > 0.0
+
+    def test_no_ppr_variant_trains(self, small_split):
+        rec = kucnet_no_ppr(KUCNetConfig(dim=8, depth=3, seed=0),
+                            TrainConfig(epochs=2, seed=0))
+        rec.fit(small_split)
+        assert rec.train_config.k is None
+        result = evaluate(rec, small_split, max_users=10)
+        assert result.recall > 0.0
+
+
+class TestNewItemAndUserSettings:
+    def test_new_item_scoring_nonzero(self):
+        """KUCNet must reach held-out items through the KG alone."""
+        dataset = lastfm_like(seed=1, scale=0.25)
+        split = new_item_split(dataset, fold=0, seed=0)
+        rec = KUCNetRecommender(KUCNetConfig(dim=16, depth=3, seed=0),
+                                TrainConfig(epochs=3, k=15, seed=0))
+        rec.fit(split)
+        result = evaluate(rec, split, max_users=30)
+        assert result.recall > 0.0
+
+    def test_new_user_scoring_via_user_kg(self):
+        """With user-side KG links (DisGeNet analogue), brand-new users
+        still receive recommendations."""
+        dataset = disgenet_like(seed=0, scale=0.5)
+        split = new_user_split(dataset, fold=0, seed=0)
+        rec = KUCNetRecommender(KUCNetConfig(dim=16, depth=3, seed=0),
+                                TrainConfig(epochs=3, k=15, seed=0))
+        rec.fit(split)
+        result = evaluate(rec, split, max_users=20)
+        assert result.recall > 0.0
+
+
+class TestExplanations:
+    def test_explanation_traces_to_item(self, small_split, trained):
+        user = small_split.test_users[0]
+        scores = trained.score_users([user])[0]
+        ranked = rank_items(scores, small_split.train.positives(user), 5)
+        propagation = trained.propagate_users([user])
+        edges = explain(propagation, trained.ckg, slot=0, item=int(ranked[0]),
+                        threshold=0.0)
+        assert edges, "top recommendation must be explainable"
+        # final layer edges end at the item's node
+        item_node = trained.ckg.item_node(int(ranked[0]))
+        last_layer_edges = [e for e in edges if e.layer == propagation.graph.depth]
+        assert all(e.tail == item_node for e in last_layer_edges)
+        # layers are connected: heads of layer l+1 appear as tails of layer l
+        by_layer = {}
+        for edge in edges:
+            by_layer.setdefault(edge.layer, []).append(edge)
+        for layer in range(2, propagation.graph.depth + 1):
+            if layer in by_layer and (layer - 1) in by_layer:
+                tails_below = {e.tail for e in by_layer[layer - 1]}
+                assert any(e.head in tails_below for e in by_layer[layer])
+
+    def test_threshold_filters(self, small_split, trained):
+        user = small_split.test_users[0]
+        scores = trained.score_users([user])[0]
+        ranked = rank_items(scores, small_split.train.positives(user), 5)
+        propagation = trained.propagate_users([user])
+        loose = explain(propagation, trained.ckg, 0, int(ranked[0]), threshold=0.0)
+        strict = explain(propagation, trained.ckg, 0, int(ranked[0]), threshold=0.99)
+        assert len(strict) <= len(loose)
+        assert all(e.attention >= 0.99 for e in strict)
+
+    def test_unreached_item_yields_empty(self, trained):
+        propagation = trained.propagate_users([0])
+        reached = {int(n) for n in propagation.graph.nodes[-1]}
+        unreached = next(item for item in range(trained.ckg.num_items)
+                         if trained.ckg.item_node(item) not in reached)
+        assert explain(propagation, trained.ckg, 0, unreached) == []
+
+    def test_render(self, small_split, trained):
+        user = small_split.test_users[0]
+        propagation = trained.propagate_users([user])
+        scores = trained.score_users([user])[0]
+        ranked = rank_items(scores, small_split.train.positives(user), 1)
+        edges = explain(propagation, trained.ckg, 0, int(ranked[0]), threshold=0.0)
+        text = render_explanation(edges, trained.ckg)
+        assert "-->" in text
+        assert render_explanation([], trained.ckg).startswith("(no explanation")

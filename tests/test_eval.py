@@ -1,0 +1,177 @@
+"""Tests for metrics (Eq. 15-16) and the all-ranking protocol."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.data import lastfm_like, traditional_split
+from repro.eval import evaluate, ndcg_at_n, rank_items, recall_at_n
+
+
+class TestRecall:
+    def test_perfect(self):
+        assert recall_at_n([1, 2, 3], {1, 2, 3}, n=3) == 1.0
+
+    def test_none(self):
+        assert recall_at_n([4, 5, 6], {1, 2, 3}, n=3) == 0.0
+
+    def test_partial(self):
+        assert recall_at_n([1, 9, 2], {1, 2, 3, 4}, n=3) == pytest.approx(0.5)
+
+    def test_cutoff_applies(self):
+        assert recall_at_n([9, 9, 9, 1], {1}, n=3) == 0.0
+        assert recall_at_n([9, 9, 9, 1], {1}, n=4) == 1.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            recall_at_n([1], {1}, n=0)
+        with pytest.raises(ValueError):
+            recall_at_n([1], set(), n=5)
+
+
+class TestNdcg:
+    def test_perfect_single(self):
+        assert ndcg_at_n([1], {1}, n=20) == pytest.approx(1.0)
+
+    def test_hit_at_top_beats_hit_lower(self):
+        top = ndcg_at_n([1, 9, 9], {1}, n=3)
+        low = ndcg_at_n([9, 9, 1], {1}, n=3)
+        assert top > low
+
+    def test_exact_value(self):
+        # hit at position 2 of a single-relevant query: (1/log2(3)) / (1/log2(2))
+        value = ndcg_at_n([9, 1], {1}, n=2)
+        assert value == pytest.approx(np.log2(2) / np.log2(3))
+
+    def test_ideal_normalizer_uses_min(self):
+        # 5 relevant items but N=2: ideal is two hits at the top.
+        assert ndcg_at_n([1, 2], {1, 2, 3, 4, 5}, n=2) == pytest.approx(1.0)
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.sets(st.integers(0, 30), min_size=1, max_size=10),
+           st.permutations(list(range(31))))
+    def test_bounds(self, relevant, ranked):
+        value = ndcg_at_n(list(ranked), relevant, n=20)
+        assert 0.0 <= value <= 1.0
+        rec = recall_at_n(list(ranked), relevant, n=20)
+        assert 0.0 <= rec <= 1.0
+
+
+class TestRankItems:
+    def test_ordering(self):
+        scores = np.array([0.1, 0.9, 0.5])
+        assert rank_items(scores, set(), 3).tolist() == [1, 2, 0]
+
+    def test_exclusion(self):
+        scores = np.array([0.1, 0.9, 0.5])
+        ranked = rank_items(scores, {1}, 3)
+        assert 1 not in ranked[:2]
+
+    def test_n_capped(self):
+        assert len(rank_items(np.array([1.0, 2.0]), set(), 10)) == 2
+
+    def test_input_not_mutated(self):
+        scores = np.array([0.1, 0.9])
+        rank_items(scores, {1}, 2)
+        assert scores[1] == 0.9
+
+
+class _OracleScorer:
+    """Scores test positives highest: must achieve perfect recall."""
+
+    def __init__(self, split):
+        self.split = split
+
+    def score_users(self, users):
+        num_items = self.split.dataset.num_items
+        scores = np.zeros((len(users), num_items))
+        for row, user in enumerate(users):
+            for item in self.split.test_positives.get(user, ()):
+                scores[row, item] = 10.0
+        return scores
+
+
+class _RandomScorer:
+    def __init__(self, num_items, seed=0):
+        self.num_items = num_items
+        self.rng = np.random.default_rng(seed)
+
+    def score_users(self, users):
+        return self.rng.random((len(users), self.num_items))
+
+
+class TestEvaluateProtocol:
+    @pytest.fixture(scope="class")
+    def split(self):
+        return traditional_split(lastfm_like(seed=0, scale=0.2), seed=0)
+
+    def test_oracle_gets_high_scores(self, split):
+        result = evaluate(_OracleScorer(split), split, n=20)
+        # Perfect whenever |T| <= 20, which holds at this scale.
+        assert result.recall > 0.95
+        assert result.ndcg > 0.95
+
+    def test_random_scorer_is_weak(self, split):
+        result = evaluate(_RandomScorer(split.dataset.num_items), split, n=20)
+        assert result.recall < 0.5
+
+    def test_per_user_breakdown_complete(self, split):
+        result = evaluate(_OracleScorer(split), split, n=20)
+        assert set(result.per_user_recall) == set(split.test_users)
+        assert result.num_users == len(split.test_users)
+
+    def test_max_users_subsamples(self, split):
+        result = evaluate(_OracleScorer(split), split, n=20, max_users=5)
+        assert result.num_users == 5
+
+    def test_batching_consistent(self, split):
+        a = evaluate(_OracleScorer(split), split, batch_size=3)
+        b = evaluate(_OracleScorer(split), split, batch_size=100)
+        assert a.recall == pytest.approx(b.recall)
+
+    def test_bad_scorer_shape_rejected(self, split):
+        class Bad:
+            def score_users(self, users):
+                return np.zeros((1, split.dataset.num_items))
+
+        with pytest.raises(ValueError):
+            evaluate(Bad(), split, batch_size=4)
+
+
+class TestExactValues:
+    """Hand-computed end-to-end check of the evaluation pipeline."""
+
+    def test_two_user_exact_metrics(self):
+        import numpy as np
+        from repro.data import Dataset, Split
+        from repro.graph import KnowledgeGraph, UserItemGraph
+
+        ui = UserItemGraph(2, 5, [(0, 0), (1, 1)])
+        kg = KnowledgeGraph(5, 1, [(0, 0, 4)])
+        dataset = Dataset(name="tiny", ui_graph=ui, kg=kg,
+                          item_to_entity=np.arange(5))
+        train = UserItemGraph(2, 5, [(0, 0), (1, 1)])
+        split = Split(dataset=dataset, train=train,
+                      test_positives={0: {2}, 1: {3, 4}},
+                      setting="traditional")
+
+        class Fixed:
+            def score_users(self, users):
+                table = {
+                    # user 0: item 2 ranked 1st (after masking item 0)
+                    0: np.array([9.0, 0.1, 5.0, 0.3, 0.2]),
+                    # user 1: item 3 ranked 1st, item 4 ranked 3rd
+                    1: np.array([0.5, 9.0, 0.1, 5.0, 0.4]),
+                }
+                return np.stack([table[u] for u in users])
+
+        result = evaluate(Fixed(), split, n=2)
+        # user 0: recall 1/1 = 1; ndcg = 1 (single hit at rank 1)
+        # user 1: top-2 after masking = [3, 0]; recall 1/2; ndcg:
+        #   dcg = 1/log2(2) = 1; ideal = 1/log2(2) + 1/log2(3)
+        ideal = 1.0 + 1.0 / np.log2(3)
+        expected_recall = (1.0 + 0.5) / 2
+        expected_ndcg = (1.0 + 1.0 / ideal) / 2
+        assert result.recall == pytest.approx(expected_recall)
+        assert result.ndcg == pytest.approx(expected_ndcg)

@@ -1,0 +1,71 @@
+"""Property-based tests for the evaluation stack against brute force."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.eval import ndcg_at_n, rank_items, recall_at_n
+
+
+scores_arrays = hnp.arrays(np.float64, st.integers(5, 40),
+                           elements=st.floats(-10, 10, allow_nan=False,
+                                              allow_infinity=False,
+                                              width=32))
+
+
+@settings(max_examples=50, deadline=None)
+@given(scores_arrays, st.integers(1, 20))
+def test_rank_items_matches_argsort(scores, n):
+    ranked = rank_items(scores, set(), n)
+    brute = np.argsort(-scores, kind="stable")[:min(n, scores.size)]
+    # scores may tie; compare the score sequences, not the indices
+    assert np.allclose(scores[ranked], scores[brute])
+
+
+@settings(max_examples=50, deadline=None)
+@given(scores_arrays,
+       st.sets(st.integers(0, 39), min_size=1, max_size=5),
+       st.integers(1, 20))
+def test_rank_items_never_returns_excluded(scores, exclude, n):
+    exclude = {e for e in exclude if e < scores.size}
+    ranked = rank_items(scores, exclude, n)
+    assert not (set(ranked.tolist()) & exclude)
+    assert len(set(ranked.tolist())) == len(ranked)  # no duplicates
+
+
+@settings(max_examples=50, deadline=None)
+@given(st.lists(st.integers(0, 50), min_size=1, max_size=30, unique=True),
+       st.sets(st.integers(0, 50), min_size=1, max_size=10),
+       st.integers(1, 25))
+def test_recall_matches_brute_force(ranked, relevant, n):
+    value = recall_at_n(ranked, relevant, n)
+    brute = len(set(ranked[:n]) & relevant) / len(relevant)
+    assert value == brute
+
+
+@settings(max_examples=50, deadline=None)
+@given(st.lists(st.integers(0, 50), min_size=1, max_size=30, unique=True),
+       st.sets(st.integers(0, 50), min_size=1, max_size=10))
+def test_ndcg_monotone_in_hit_position(ranked, relevant):
+    """Moving a hit to an earlier (miss) position never lowers ndcg."""
+    base = ndcg_at_n(ranked, relevant, 20)
+    hits = [i for i, item in enumerate(ranked) if item in relevant]
+    misses = [i for i, item in enumerate(ranked) if item not in relevant]
+    early_misses = [m for m in misses if hits and m < hits[0]]
+    if not hits or not early_misses:
+        return
+    hit, miss = hits[0], early_misses[0]
+    swapped = list(ranked)
+    swapped[hit], swapped[miss] = swapped[miss], swapped[hit]
+    assert ndcg_at_n(swapped, relevant, 20) >= base - 1e-12
+
+
+@settings(max_examples=50, deadline=None)
+@given(st.sets(st.integers(0, 30), min_size=1, max_size=8))
+def test_perfect_ranking_is_optimal(relevant):
+    """Putting all relevant items first yields ndcg = recall = 1 (at
+    cutoff >= |relevant|)."""
+    ranked = sorted(relevant) + [item for item in range(31, 60)]
+    assert recall_at_n(ranked, relevant, 30) == 1.0
+    assert abs(ndcg_at_n(ranked, relevant, 30) - 1.0) < 1e-12

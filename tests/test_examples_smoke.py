@@ -1,0 +1,45 @@
+"""Smoke tests for the example scripts.
+
+Each example must at least import cleanly and expose ``main``; the
+cheapest one is executed end-to-end.  (The full set is exercised
+manually / by CI at longer budgets — each takes 15-60s.)
+"""
+
+import importlib.util
+import os
+import sys
+
+import pytest
+
+EXAMPLES_DIR = os.path.join(os.path.dirname(__file__), "..", "examples")
+EXAMPLES = [
+    "quickstart",
+    "new_item_recommendation",
+    "disease_gene_prediction",
+    "interpretability",
+    "compare_baselines",
+    "kg_link_prediction",
+]
+
+
+def load_example(name):
+    path = os.path.join(EXAMPLES_DIR, f"{name}.py")
+    spec = importlib.util.spec_from_file_location(f"example_{name}", path)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+@pytest.mark.parametrize("name", EXAMPLES)
+def test_example_imports_and_has_main(name):
+    module = load_example(name)
+    assert callable(module.main)
+    assert module.__doc__, f"{name}.py needs a module docstring"
+
+
+def test_quickstart_runs_end_to_end(capsys):
+    module = load_example("quickstart")
+    module.main()
+    out = capsys.readouterr().out
+    assert "recall@20" in out
+    assert "top-5 recommendations" in out

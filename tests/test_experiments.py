@@ -1,0 +1,154 @@
+"""Tests for the experiment harness: profiles, factories, tables, runners."""
+
+import os
+
+import numpy as np
+import pytest
+
+from repro.baselines import Recommender
+from repro.experiments import (EXPERIMENTS, PROFILES, Profile, TableResult,
+                               TABLE3_METHODS, TABLE4_METHODS,
+                               active_profile, kucnet_settings, make_method,
+                               run_table2)
+from repro.experiments.profiles import active_profile as profile_fn
+
+MINI = Profile(name="mini", scale=0.15, baseline_epochs=1, kucnet_epochs=1,
+               eval_users=5, num_seeds=1)
+
+
+class TestProfiles:
+    def test_default_profile_is_quick(self, monkeypatch):
+        monkeypatch.delenv("REPRO_PROFILE", raising=False)
+        assert active_profile().name == "quick"
+
+    def test_env_selects_profile(self, monkeypatch):
+        monkeypatch.setenv("REPRO_PROFILE", "full")
+        assert active_profile().name == "full"
+
+    def test_unknown_profile_rejected(self, monkeypatch):
+        monkeypatch.setenv("REPRO_PROFILE", "bogus")
+        with pytest.raises(ValueError):
+            active_profile()
+
+    def test_profiles_registered(self):
+        assert set(PROFILES) == {"quick", "full"}
+
+
+class TestMethodFactory:
+    @pytest.mark.parametrize("name", TABLE4_METHODS)
+    def test_all_methods_instantiable(self, name):
+        model = make_method(name, "lastfm_like", "traditional", MINI)
+        assert isinstance(model, Recommender) or hasattr(model, "score_users")
+
+    def test_unknown_method_rejected(self):
+        with pytest.raises(KeyError):
+            make_method("GPT", "lastfm_like", "traditional", MINI)
+
+    def test_kucnet_settings_per_setting(self):
+        traditional = kucnet_settings("lastfm_like", "traditional", MINI)
+        new_item = kucnet_settings("lastfm_like", "new_item", MINI)
+        assert traditional.model_config.depth == 3
+        assert new_item.model_config.depth == 4
+        assert new_item.train_config.k < traditional.train_config.k
+
+    def test_kucnet_overrides(self):
+        model = kucnet_settings("lastfm_like", "traditional", MINI, depth=5,
+                                k=7, sampler="random")
+        assert model.model_config.depth == 5
+        assert model.train_config.k == 7
+        assert model.train_config.sampler == "random"
+
+    def test_table_method_lists(self):
+        assert TABLE3_METHODS[-1] == "KUCNet"
+        assert set(TABLE4_METHODS) - set(TABLE3_METHODS) == {"PPR", "PathSim",
+                                                             "REDGNN"}
+
+
+class TestTableResult:
+    @pytest.fixture
+    def table(self):
+        return TableResult(
+            title="Demo",
+            columns=["recall", "ndcg"],
+            rows={"MF": {"recall": 0.1, "ndcg": 0.05},
+                  "KUCNet": {"recall": 0.2, "ndcg": 0.15}},
+            paper={"MF": {"recall": 0.07}, "KUCNet": {"recall": 0.12,
+                                                      "ndcg": 0.11}},
+            notes=["a note"])
+
+    def test_render_contains_rows_and_paper(self, table):
+        text = table.render()
+        assert "KUCNet" in text
+        assert "0.2000" in text
+        assert "recall (paper)" in text
+        assert "0.1200" in text
+        assert "note: a note" in text
+
+    def test_missing_cells_render_as_dash(self, table):
+        assert "-" in table.render()  # MF has no paper ndcg
+
+    def test_markdown(self, table):
+        markdown = table.render_markdown()
+        assert markdown.startswith("### Demo")
+        assert "| MF |" in markdown
+
+    def test_save(self, table, tmp_path):
+        path = table.save(str(tmp_path), "demo")
+        assert os.path.exists(path)
+        with open(path) as handle:
+            assert "KUCNet" in handle.read()
+
+
+class TestRunners:
+    def test_registry_covers_all_tables_and_figures(self):
+        expected = {"table2", "table3", "table4", "table5", "table6",
+                    "table7", "table8", "table9", "fig4", "fig5", "fig6",
+                    "fig7"}
+        assert set(EXPERIMENTS) == expected
+
+    def test_run_table2_mini(self):
+        result = run_table2(MINI)
+        assert set(result.rows) == {"lastfm_like", "amazon_book_like",
+                                    "alibaba_ifashion_like", "disgenet_like"}
+        for cells in result.rows.values():
+            assert cells["interactions"] > 0
+            assert cells["triplets"] > 0
+        # paper side-by-side present
+        assert result.paper["lastfm_like"]["users"] == 23566
+
+
+class TestPaperValues:
+    """Sanity checks of the transcribed paper numbers in experiments.paper."""
+
+    def test_table3_rows_complete(self):
+        from repro.experiments import paper
+        for dataset, rows in paper.PAPER_TABLE3.items():
+            assert set(rows) == set(TABLE3_METHODS), dataset
+            for recall, ndcg in rows.values():
+                assert 0.0 <= ndcg <= recall <= 1.0
+
+    def test_table4_rows_complete(self):
+        from repro.experiments import paper
+        for dataset, rows in paper.PAPER_TABLE4.items():
+            assert set(rows) == set(TABLE4_METHODS), dataset
+
+    def test_kucnet_is_bold_where_paper_says(self):
+        """Spot-check the transcription against the paper's bold cells."""
+        from repro.experiments import paper
+        t3 = paper.PAPER_TABLE3
+        # Table III: KUCNet best recall on Last-FM and Amazon-Book,
+        # KGIN best on iFashion.
+        for dataset in ("lastfm_like", "amazon_book_like"):
+            best = max(t3[dataset], key=lambda m: t3[dataset][m][0])
+            assert best == "KUCNet"
+        ifashion_best = max(t3["alibaba_ifashion_like"],
+                            key=lambda m: t3["alibaba_ifashion_like"][m][0])
+        assert ifashion_best == "KGIN"
+        # Table IV: KUCNet best recall everywhere.
+        for dataset, rows in paper.PAPER_TABLE4.items():
+            assert max(rows, key=lambda m: rows[m][0]) == "KUCNet", dataset
+
+    def test_table8_depth_grids(self):
+        from repro.experiments import paper
+        for label, cells in paper.PAPER_TABLE8.items():
+            assert set(cells) == {3, 4, 5}, label

@@ -1,0 +1,60 @@
+"""Tests for explanation DOT export and trainer early stopping."""
+
+import numpy as np
+import pytest
+
+from repro.core import (KUCNetConfig, KUCNetRecommender, TrainConfig, explain)
+from repro.core.explain import explanation_to_dot
+from repro.data import lastfm_like, traditional_split
+from repro.eval import rank_items
+
+
+@pytest.fixture(scope="module")
+def trained():
+    split = traditional_split(lastfm_like(seed=0, scale=0.25), seed=0)
+    rec = KUCNetRecommender(KUCNetConfig(dim=16, depth=3, seed=0),
+                            TrainConfig(epochs=3, k=15, seed=0))
+    rec.fit(split)
+    return split, rec
+
+
+class TestDotExport:
+    def test_dot_structure(self, trained):
+        split, rec = trained
+        user = split.test_users[0]
+        scores = rec.score_users([user])[0]
+        item = int(rank_items(scores, split.train.positives(user), 1)[0])
+        propagation = rec.propagate_users([user])
+        edges = explain(propagation, rec.ckg, 0, item, threshold=0.0)
+        dot = explanation_to_dot(edges, rec.ckg, title="demo")
+        assert dot.startswith('digraph "demo"')
+        assert dot.rstrip().endswith("}")
+        assert "->" in dot
+        assert "shape=ellipse" in dot   # the user node
+        assert "shape=box" in dot       # at least one item node
+
+    def test_empty_edges_valid_dot(self, trained):
+        _, rec = trained
+        dot = explanation_to_dot([], rec.ckg)
+        assert dot.startswith("digraph")
+        assert "->" not in dot
+
+
+class TestEarlyStopping:
+    def test_patience_stops_training(self):
+        split = traditional_split(lastfm_like(seed=0, scale=0.25), seed=0)
+        rec = KUCNetRecommender(
+            KUCNetConfig(dim=16, depth=3, seed=0),
+            TrainConfig(epochs=50, k=15, seed=0, patience=2),
+        )
+        rec.fit(split)
+        assert len(rec.history) < 50
+
+    def test_no_patience_runs_all_epochs(self):
+        split = traditional_split(lastfm_like(seed=0, scale=0.25), seed=0)
+        rec = KUCNetRecommender(
+            KUCNetConfig(dim=16, depth=3, seed=0),
+            TrainConfig(epochs=4, k=15, seed=0, patience=None),
+        )
+        rec.fit(split)
+        assert len(rec.history) == 4

@@ -1,0 +1,106 @@
+"""Tests for the extension baselines: LightGCN, NCF, TransE."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import (EXTRA_BASELINES, BaselineConfig, LightGCN, NCF,
+                             TransERec)
+from repro.data import lastfm_like, traditional_split
+from repro.eval import evaluate
+
+
+@pytest.fixture(scope="module")
+def split():
+    return traditional_split(lastfm_like(seed=0, scale=0.25), seed=0)
+
+
+FAST = BaselineConfig(dim=16, epochs=3, seed=0)
+
+
+class TestContract:
+    @pytest.mark.parametrize("model_cls", list(EXTRA_BASELINES.values()),
+                             ids=list(EXTRA_BASELINES))
+    def test_fit_and_score(self, split, model_cls):
+        model = model_cls(FAST).fit(split)
+        scores = model.score_users([0, 1])
+        assert scores.shape == (2, split.dataset.num_items)
+        assert np.all(np.isfinite(scores))
+
+    @pytest.mark.parametrize("model_cls", list(EXTRA_BASELINES.values()),
+                             ids=list(EXTRA_BASELINES))
+    def test_loss_decreases(self, split, model_cls):
+        model = model_cls(FAST).fit(split)
+        losses = [loss for _, loss, _ in model.epoch_history]
+        assert losses[-1] <= losses[0]
+
+    @pytest.mark.parametrize("model_cls", list(EXTRA_BASELINES.values()),
+                             ids=list(EXTRA_BASELINES))
+    def test_beats_chance(self, split, model_cls):
+        model = model_cls(BaselineConfig(dim=32, epochs=15, seed=0)).fit(split)
+        result = evaluate(model, split, max_users=30)
+        assert result.recall > 20.0 / split.dataset.num_items
+
+
+class TestLightGCN:
+    def test_no_transform_parameters(self, split):
+        """LightGCN's only parameters are the embeddings."""
+        model = LightGCN(FAST)
+        model.build(split)
+        dataset = split.dataset
+        expected = (dataset.num_users + dataset.num_items) * FAST.dim
+        assert model.num_parameters() == expected
+
+    def test_propagation_preserves_shape(self, split):
+        model = LightGCN(FAST, num_layers=3)
+        model.build(split)
+        hidden = model._propagate()
+        total = split.dataset.num_users + split.dataset.num_items
+        assert hidden.shape == (total, FAST.dim)
+
+    def test_edge_norm_symmetric(self, split):
+        model = LightGCN(FAST)
+        model.build(split)
+        # both directions of each undirected edge carry the same weight
+        half = model._src.size // 2
+        assert np.allclose(model._edge_norm[:half], model._edge_norm[half:])
+
+
+class TestNCF:
+    def test_two_branches_exist(self, split):
+        model = NCF(FAST)
+        model.build(split)
+        names = {name for name, _ in model.named_parameters()}
+        assert any("mlp_hidden" in n for n in names)
+        assert any("head" in n for n in names)
+
+    def test_pair_scores_shape(self, split):
+        model = NCF(FAST)
+        model.build(split)
+        scores = model.pair_scores(np.array([0, 1]), np.array([2, 3]))
+        assert scores.shape == (2,)
+
+
+class TestTransE:
+    def test_plausibility_is_negative_distance(self, split):
+        model = TransERec(FAST)
+        model.build(split)
+        scores = model.pair_scores(np.array([0]), np.array([0]))
+        assert scores.data[0] <= 0.0
+
+    def test_kg_loss_defined(self, split):
+        model = TransERec(FAST)
+        model.build(split)
+        extra = model.extra_loss(np.array([0]), np.array([0]), np.array([1]))
+        assert extra is not None
+        assert np.isfinite(extra.item())
+
+    def test_training_improves_interact_plausibility(self, split):
+        """After training, observed pairs score higher than random pairs."""
+        model = TransERec(BaselineConfig(dim=16, epochs=8, seed=0)).fit(split)
+        users = split.train.users[:100]
+        items = split.train.items[:100]
+        rng = np.random.default_rng(0)
+        random_items = rng.integers(0, split.dataset.num_items, size=100)
+        observed = model.pair_scores(users, items).data.mean()
+        random_score = model.pair_scores(users, random_items).data.mean()
+        assert observed > random_score

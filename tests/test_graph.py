@@ -1,0 +1,192 @@
+"""Tests for the graph substrates: UserItemGraph, KnowledgeGraph, CKG."""
+
+import numpy as np
+import pytest
+
+from repro.graph import (INTERACT_RELATION, CollaborativeKG, KnowledgeGraph,
+                         UserItemGraph)
+
+
+@pytest.fixture
+def tiny_ui():
+    # 2 users, 3 items; mirrors Figure 1's green graph in miniature.
+    return UserItemGraph(2, 3, [(0, 0), (0, 1), (1, 1), (1, 2)])
+
+
+@pytest.fixture
+def tiny_kg():
+    # 5 entities (items are entities 0-2; 3, 4 are attribute entities),
+    # 2 relations.
+    return KnowledgeGraph(5, 2, [(0, 0, 3), (1, 0, 3), (1, 1, 4), (2, 1, 4)])
+
+
+@pytest.fixture
+def tiny_ckg(tiny_ui, tiny_kg):
+    return CollaborativeKG.build(tiny_ui, tiny_kg)
+
+
+class TestUserItemGraph:
+    def test_counts(self, tiny_ui):
+        assert tiny_ui.num_interactions == 4
+        assert tiny_ui.density() == pytest.approx(4 / 6)
+
+    def test_duplicates_dropped(self):
+        graph = UserItemGraph(1, 1, [(0, 0), (0, 0)])
+        assert graph.num_interactions == 1
+
+    def test_positives(self, tiny_ui):
+        assert tiny_ui.positives(0) == {0, 1}
+        assert tiny_ui.positives(1) == {1, 2}
+        assert tiny_ui.positives(5) == set()
+
+    def test_has_interaction(self, tiny_ui):
+        assert tiny_ui.has_interaction(0, 1)
+        assert not tiny_ui.has_interaction(0, 2)
+
+    def test_degrees(self, tiny_ui):
+        assert tiny_ui.item_degrees().tolist() == [1, 2, 1]
+        assert tiny_ui.user_degrees().tolist() == [2, 2]
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            UserItemGraph(2, 2, [(0, 5)])
+        with pytest.raises(ValueError):
+            UserItemGraph(2, 2, [(-1, 0)])
+        with pytest.raises(ValueError):
+            UserItemGraph(0, 2, [])
+
+    def test_restrict_items(self, tiny_ui):
+        restricted = tiny_ui.restrict_items([0, 1])
+        assert restricted.num_interactions == 3
+        assert not restricted.has_interaction(1, 2)
+        # Id spaces preserved.
+        assert restricted.num_items == tiny_ui.num_items
+
+    def test_restrict_users(self, tiny_ui):
+        restricted = tiny_ui.restrict_users([0])
+        assert restricted.positives(1) == set()
+        assert restricted.positives(0) == {0, 1}
+
+    def test_empty_interactions(self):
+        graph = UserItemGraph(2, 2, [])
+        assert graph.num_interactions == 0
+        assert graph.users_with_interactions() == []
+
+
+class TestKnowledgeGraph:
+    def test_counts(self, tiny_kg):
+        assert tiny_kg.num_triplets == 4
+        assert tiny_kg.relation_counts().tolist() == [2, 2]
+
+    def test_entity_degrees(self, tiny_kg):
+        degrees = tiny_kg.entity_degrees()
+        assert degrees[3] == 2  # two inbound edges
+        assert degrees[1] == 2  # two outbound edges
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            KnowledgeGraph(2, 1, [(0, 0, 5)])
+        with pytest.raises(ValueError):
+            KnowledgeGraph(2, 1, [(0, 3, 1)])
+
+    def test_triplets_per_item(self, tiny_kg):
+        assert tiny_kg.triplets_per_item(2) == pytest.approx(2.0)
+        with pytest.raises(ValueError):
+            tiny_kg.triplets_per_item(0)
+
+
+class TestCollaborativeKG:
+    def test_node_layout(self, tiny_ckg):
+        # users 0-1, entities at offset 2, no fresh item nodes (identity align)
+        assert tiny_ckg.user_node(1) == 1
+        assert tiny_ckg.entity_node(0) == 2
+        assert tiny_ckg.item_node(0) == 2
+        assert tiny_ckg.num_nodes == 2 + 5
+
+    def test_edge_counts_include_reverses(self, tiny_ckg):
+        # 4 interactions + 4 KG triplets, doubled by reverses.
+        assert tiny_ckg.num_edges == 16
+
+    def test_relation_layout(self, tiny_ckg):
+        assert tiny_ckg.num_base_relations == 3  # interact + 2 KG relations
+        assert tiny_ckg.num_relations == 6
+        assert tiny_ckg.reverse_relation(0) == 3
+        assert tiny_ckg.reverse_relation(3) == 0
+        assert tiny_ckg.relation_name(0) == "interact"
+        assert tiny_ckg.relation_name(3) == "-interact"
+        assert tiny_ckg.relation_name(1) == "rel_0"
+
+    def test_out_edges_of_user(self, tiny_ckg):
+        heads, rels, tails = tiny_ckg.out_edges(np.array([0]))
+        assert np.all(heads == 0)
+        assert np.all(rels == INTERACT_RELATION)
+        assert set(tails.tolist()) == {tiny_ckg.item_node(0), tiny_ckg.item_node(1)}
+
+    def test_reverse_edge_exists(self, tiny_ckg):
+        item_node = tiny_ckg.item_node(1)
+        heads, rels, tails = tiny_ckg.out_edges(np.array([item_node]))
+        reverse_interact = tiny_ckg.reverse_relation(INTERACT_RELATION)
+        users_reached = tails[rels == reverse_interact]
+        assert set(users_reached.tolist()) == {0, 1}
+
+    def test_out_edge_ids_multiple_nodes(self, tiny_ckg):
+        ids = tiny_ckg.out_edge_ids(np.array([0, 1]))
+        assert len(ids) == tiny_ckg.out_degree(0) + tiny_ckg.out_degree(1)
+        assert set(tiny_ckg.heads[ids].tolist()) == {0, 1}
+
+    def test_out_edge_ids_empty(self, tiny_ckg):
+        assert tiny_ckg.out_edge_ids(np.empty(0, dtype=np.int64)).size == 0
+
+    def test_unaligned_items_get_fresh_nodes(self, tiny_ui, tiny_kg):
+        ckg = CollaborativeKG.build(tiny_ui, tiny_kg, item_to_entity=[0, -1, 2])
+        assert ckg.item_node(0) == ckg.entity_node(0)
+        assert ckg.item_node(1) == ckg.num_users + ckg.num_entities  # fresh
+        assert ckg.num_nodes == 2 + 5 + 1
+
+    def test_alignment_validation(self, tiny_ui, tiny_kg):
+        with pytest.raises(ValueError):
+            CollaborativeKG.build(tiny_ui, tiny_kg, item_to_entity=[0, 1])
+        with pytest.raises(ValueError):
+            CollaborativeKG.build(tiny_ui, tiny_kg, item_to_entity=[0, 1, 99])
+
+    def test_identity_alignment_needs_enough_entities(self, tiny_ui):
+        small_kg = KnowledgeGraph(2, 1, [(0, 0, 1)])
+        with pytest.raises(ValueError):
+            CollaborativeKG.build(tiny_ui, small_kg)
+
+    def test_node_to_item(self, tiny_ckg):
+        assert tiny_ckg.node_to_item(tiny_ckg.item_node(2)) == 2
+        assert tiny_ckg.node_to_item(0) is None
+
+    def test_normalized_adjacency_columns(self, tiny_ckg):
+        matrix = tiny_ckg.normalized_adjacency()
+        sums = np.asarray(matrix.sum(axis=0)).ravel()
+        # Every node has at least one out-edge here (reverses), so all
+        # columns sum to 1.
+        assert np.allclose(sums, 1.0)
+
+    def test_average_degree(self, tiny_ckg):
+        assert tiny_ckg.average_degree() == pytest.approx(16 / 7)
+
+    def test_csr_indptr_consistent(self, tiny_ckg):
+        assert tiny_ckg.indptr[-1] == tiny_ckg.num_edges
+        # heads sorted ascending
+        assert np.all(np.diff(tiny_ckg.heads) >= 0)
+
+
+class TestOutEdgeIdsProperty:
+    """Property check of the vectorized multi-range expansion against a
+    straightforward per-node loop."""
+
+    def test_matches_naive_loop(self, tiny_ckg):
+        import numpy as np
+        rng = np.random.default_rng(0)
+        for _ in range(10):
+            nodes = rng.choice(tiny_ckg.num_nodes,
+                               size=rng.integers(1, 5), replace=False)
+            fast = tiny_ckg.out_edge_ids(nodes)
+            naive = np.concatenate([
+                np.arange(tiny_ckg.indptr[n], tiny_ckg.indptr[n + 1])
+                for n in nodes
+            ]) if nodes.size else np.empty(0, dtype=np.int64)
+            assert np.array_equal(fast, naive)

@@ -1,0 +1,104 @@
+"""Tests for per-layer K schedules (AdaProp-style adaptive propagation)."""
+
+import numpy as np
+import pytest
+
+from repro.data import lastfm_like, traditional_split
+from repro.ppr import personalized_pagerank_batch
+from repro.sampling import build_user_centric_graph
+
+
+@pytest.fixture(scope="module")
+def setup():
+    dataset = lastfm_like(seed=1, scale=0.25)
+    ckg = dataset.build_ckg()
+    ppr = personalized_pagerank_batch(ckg, [0, 1])
+    return ckg, ppr.scores
+
+
+class TestKSchedule:
+    def test_scalar_k_equals_uniform_schedule(self, setup):
+        ckg, scores = setup
+        scalar = build_user_centric_graph(ckg, [0, 1], depth=3,
+                                          ppr_scores=scores, k=5)
+        schedule = build_user_centric_graph(ckg, [0, 1], depth=3,
+                                            ppr_scores=scores, k=[5, 5, 5])
+        assert scalar.total_edges() == schedule.total_edges()
+        for a, b in zip(scalar.layers, schedule.layers):
+            assert np.array_equal(a.tails, b.tails)
+
+    def test_per_layer_budgets_respected(self, setup):
+        ckg, scores = setup
+        budgets = [10, 5, 3]
+        graph = build_user_centric_graph(ckg, [0, 1], depth=3,
+                                         ppr_scores=scores, k=budgets)
+        for level, (layer, budget) in enumerate(zip(graph.layers, budgets),
+                                                start=1):
+            counts = np.bincount(layer.src_pos,
+                                 minlength=graph.layer_size(level - 1))
+            assert counts.max(initial=0) <= budget
+
+    def test_none_entries_disable_layer_pruning(self, setup):
+        ckg, scores = setup
+        mixed = build_user_centric_graph(ckg, [0], depth=3,
+                                         ppr_scores=scores, k=[None, 4, 4])
+        full = build_user_centric_graph(ckg, [0], depth=3, k=None)
+        # first layer unpruned: same edge count as the full graph's layer 1
+        assert mixed.layers[0].num_edges == full.layers[0].num_edges
+
+    def test_wrong_length_rejected(self, setup):
+        ckg, scores = setup
+        with pytest.raises(ValueError):
+            build_user_centric_graph(ckg, [0], depth=3, ppr_scores=scores,
+                                     k=[5, 5])
+
+    def test_invalid_entry_rejected(self, setup):
+        ckg, scores = setup
+        with pytest.raises(ValueError):
+            build_user_centric_graph(ckg, [0], depth=3, ppr_scores=scores,
+                                     k=[5, 0, 5])
+
+    def test_all_none_schedule_needs_no_ppr(self, setup):
+        ckg, _ = setup
+        graph = build_user_centric_graph(ckg, [0], depth=2,
+                                         k=[None, None])
+        assert graph.total_edges() > 0
+
+    def test_tightening_schedule_shrinks_deep_layers(self, setup):
+        """The AdaProp-style usage: tighter budgets at deeper layers cut
+        the multiplicative growth."""
+        ckg, scores = setup
+        uniform = build_user_centric_graph(ckg, [0, 1], depth=3,
+                                           ppr_scores=scores, k=[8, 8, 8])
+        tightening = build_user_centric_graph(ckg, [0, 1], depth=3,
+                                              ppr_scores=scores, k=[8, 6, 3])
+        assert tightening.layers[2].num_edges <= uniform.layers[2].num_edges
+        assert tightening.total_edges() < uniform.total_edges()
+
+
+class TestAdaptiveVariant:
+    def test_trainer_accepts_schedule(self):
+        from repro.core import KUCNetConfig, TrainConfig, kucnet_adaptive
+        from repro.eval import evaluate
+
+        split = traditional_split(lastfm_like(seed=0, scale=0.2), seed=0)
+        rec = kucnet_adaptive(KUCNetConfig(dim=8, depth=3, seed=0),
+                              TrainConfig(epochs=2, k=12, seed=0))
+        assert rec.train_config.k == (12, 6, 3)
+        rec.fit(split)
+        result = evaluate(rec, split, max_users=10)
+        assert 0.0 <= result.recall <= 1.0
+
+    def test_explicit_schedule(self):
+        from repro.core import KUCNetConfig, kucnet_adaptive
+
+        rec = kucnet_adaptive(KUCNetConfig(dim=8, depth=3, seed=0),
+                              schedule=(9, 9, 9))
+        assert rec.train_config.k == (9, 9, 9)
+
+    def test_wrong_schedule_length_rejected(self):
+        from repro.core import KUCNetConfig, kucnet_adaptive
+
+        with pytest.raises(ValueError):
+            kucnet_adaptive(KUCNetConfig(dim=8, depth=3, seed=0),
+                            schedule=(9, 9))

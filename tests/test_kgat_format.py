@@ -1,0 +1,119 @@
+"""Tests for the public KGAT/KGIN dataset-format loader."""
+
+import os
+
+import numpy as np
+import pytest
+
+from repro.data import lastfm_like, traditional_split
+from repro.data.kgat_format import load_kgat_dataset, save_kgat_dataset
+
+
+@pytest.fixture
+def kgat_dir(tmp_path):
+    """A miniature KGAT-format dataset on disk."""
+    directory = tmp_path / "mini"
+    directory.mkdir()
+    (directory / "train.txt").write_text(
+        "0 0 1 2\n"
+        "1 1 3\n"
+        "2 0\n")
+    (directory / "test.txt").write_text(
+        "0 3\n"
+        "1 0\n")
+    (directory / "kg_final.txt").write_text(
+        "0 0 4\n"
+        "1 0 4\n"
+        "2 1 5\n"
+        "3 1 5\n")
+    return str(directory)
+
+
+class TestLoad:
+    def test_shapes(self, kgat_dir):
+        dataset, split = load_kgat_dataset(kgat_dir)
+        assert dataset.num_users == 3
+        assert dataset.num_items == 4
+        assert dataset.kg.num_entities == 6
+        assert dataset.kg.num_relations == 2
+        assert dataset.kg.num_triplets == 4
+
+    def test_split_contents(self, kgat_dir):
+        _, split = load_kgat_dataset(kgat_dir)
+        assert split.train.positives(0) == {0, 1, 2}
+        assert split.test_positives[0] == {3}
+        assert split.test_positives[1] == {0}
+        assert split.setting == "traditional"
+
+    def test_identity_alignment(self, kgat_dir):
+        dataset, _ = load_kgat_dataset(kgat_dir)
+        assert np.array_equal(dataset.item_to_entity, np.arange(4))
+
+    def test_name_from_directory(self, kgat_dir):
+        dataset, _ = load_kgat_dataset(kgat_dir)
+        assert dataset.name == "mini"
+
+    def test_missing_file_raises(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            load_kgat_dataset(str(tmp_path))
+
+    def test_malformed_kg_raises(self, kgat_dir):
+        with open(os.path.join(kgat_dir, "kg_final.txt"), "a") as handle:
+            handle.write("1 2\n")
+        with pytest.raises(ValueError):
+            load_kgat_dataset(kgat_dir)
+
+    def test_malformed_interactions_raise(self, kgat_dir):
+        with open(os.path.join(kgat_dir, "train.txt"), "a") as handle:
+            handle.write("3 not_an_item\n")
+        with pytest.raises(ValueError):
+            load_kgat_dataset(kgat_dir)
+
+    def test_test_items_outside_training_dropped(self, tmp_path):
+        """The traditional setting requires I_test ⊂ I_train."""
+        directory = tmp_path / "d"
+        directory.mkdir()
+        (directory / "train.txt").write_text("0 0\n")
+        (directory / "test.txt").write_text("0 1\n")  # item 1 never trained
+        (directory / "kg_final.txt").write_text("0 0 2\n1 0 2\n")
+        _, split = load_kgat_dataset(str(directory))
+        assert split.test_positives == {}
+
+    def test_empty_dataset_rejected(self, tmp_path):
+        directory = tmp_path / "e"
+        directory.mkdir()
+        for name in ("train.txt", "test.txt", "kg_final.txt"):
+            (directory / name).write_text("")
+        with pytest.raises(ValueError):
+            load_kgat_dataset(str(directory))
+
+
+class TestRoundTrip:
+    def test_save_then_load(self, tmp_path):
+        dataset = lastfm_like(seed=0, scale=0.2)
+        split = traditional_split(dataset, seed=0)
+        directory = str(tmp_path / "roundtrip")
+        save_kgat_dataset(dataset, split, directory)
+        loaded_dataset, loaded_split = load_kgat_dataset(directory)
+
+        assert loaded_dataset.num_users == dataset.num_users
+        assert loaded_split.train.num_interactions == split.train.num_interactions
+        assert loaded_split.test_positives == split.test_positives
+        assert loaded_dataset.kg.num_triplets == dataset.kg.num_triplets
+
+    def test_pipeline_runs_on_loaded_dataset(self, tmp_path):
+        """End-to-end: KUCNet trains on a dataset loaded from KGAT format."""
+        from repro.core import KUCNetConfig, KUCNetRecommender, TrainConfig
+        from repro.eval import evaluate
+
+        dataset = lastfm_like(seed=0, scale=0.2)
+        split = traditional_split(dataset, seed=0)
+        directory = str(tmp_path / "pipeline")
+        save_kgat_dataset(dataset, split, directory)
+        _, loaded_split = load_kgat_dataset(directory)
+
+        model = KUCNetRecommender(KUCNetConfig(dim=8, depth=3, seed=0),
+                                  TrainConfig(epochs=1, k=10, seed=0))
+        model.fit(loaded_split)
+        result = evaluate(model, loaded_split, max_users=10)
+        assert 0.0 <= result.recall <= 1.0

@@ -1,0 +1,83 @@
+"""Tests for the MCRec meta-path baseline."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import MCRec, BaselineConfig
+from repro.data import lastfm_like, new_item_split, traditional_split
+from repro.eval import evaluate
+
+
+@pytest.fixture(scope="module")
+def split():
+    return traditional_split(lastfm_like(seed=0, scale=0.25), seed=0)
+
+
+@pytest.fixture(scope="module")
+def built(split):
+    model = MCRec(BaselineConfig(dim=16, epochs=1, seed=0))
+    model.split = split
+    model.build(split)
+    return model
+
+
+class TestPathSampling:
+    def test_uiui_path_structure(self, built, split):
+        user = split.train.users_with_interactions()[0]
+        item = sorted(split.train.positives(user))[0]
+        path = built._sample_uiui(user, item)
+        assert path is not None
+        assert len(path) == 4
+        assert path[0] == user                      # starts at the user
+        assert path[3] == built._item_offset + item  # ends at the item
+        assert built._item_offset <= path[1] < built._entity_offset  # item
+        assert path[2] < built.num_users            # bridging user
+
+    def test_uiei_path_structure(self, built, split):
+        # find an item with KG attributes
+        item = next(i for i in range(split.dataset.num_items)
+                    if built._item_attrs.get(i))
+        path = built._sample_uiei(0, item)
+        assert path is not None
+        assert path[2] >= built._entity_offset       # attribute entity
+        assert path[3] == built._item_offset + item
+
+    def test_pathless_pair_returns_none(self, built, split):
+        # an item with no interactions has no UIUI paths
+        interacted = set(split.train.items.tolist())
+        lonely = next((i for i in range(split.dataset.num_items)
+                       if i not in interacted), None)
+        if lonely is not None:
+            assert built._sample_uiui(0, lonely) is None
+
+    def test_path_feature_shape(self, built):
+        pairs = [(0, 0), (1, 1)]
+        feature = built._path_feature(pairs, built._sample_uiui)
+        assert feature.shape == (2, built.config.dim)
+
+    def test_path_feature_zero_when_no_instances(self, built):
+        feature = built._path_feature([(0, 0)], lambda u, i: None)
+        assert np.all(feature.data == 0)
+
+
+class TestTraining:
+    def test_fit_and_score(self, split):
+        model = MCRec(BaselineConfig(dim=16, epochs=2, seed=0)).fit(split)
+        scores = model.score_users([0, 1])
+        assert scores.shape == (2, split.dataset.num_items)
+        assert np.all(np.isfinite(scores))
+
+    def test_beats_chance(self, split):
+        model = MCRec(BaselineConfig(dim=16, epochs=4, seed=0)).fit(split)
+        result = evaluate(model, split, max_users=25)
+        assert result.recall > 20.0 / split.dataset.num_items
+
+    def test_collapses_on_new_items(self):
+        """Like the other embedding/path-instance methods, MCRec has no
+        signal for held-out items (Table IV's qualitative point)."""
+        dataset = lastfm_like(seed=0, scale=0.25)
+        split = new_item_split(dataset, fold=0, seed=0)
+        model = MCRec(BaselineConfig(dim=16, epochs=2, seed=0)).fit(split)
+        result = evaluate(model, split, max_users=25)
+        chance = 20.0 / dataset.num_items
+        assert result.recall < 2.5 * chance

@@ -1,0 +1,59 @@
+"""Smoke tests of the experiment runners at a miniature profile.
+
+The benches run these at real scale; here we verify the runner plumbing
+(splits, method construction, table assembly) end-to-end in seconds.
+"""
+
+import pytest
+
+from repro.experiments import (Profile, run_fig4, run_fig5, run_fig6,
+                               run_fig7, run_table6, run_table9)
+
+MINI = Profile(name="mini", scale=0.15, baseline_epochs=1, kucnet_epochs=1,
+               eval_users=5, num_seeds=1)
+
+
+class TestRunnerPlumbing:
+    def test_fig5_parameter_counts(self):
+        result = run_fig5(MINI, methods=("KGAT", "KUCNet"))
+        assert result.rows["KUCNet"]["lastfm_like"] > 0
+        assert (result.rows["KGAT"]["lastfm_like"]
+                > result.rows["KUCNet"]["lastfm_like"])
+
+    def test_fig6_cost_comparison(self):
+        result = run_fig6(MINI, num_users=2)
+        assert set(result.rows) == {"KUCNet-UI", "KUCNet-w.o.-PPR", "KUCNet"}
+        assert result.rows["KUCNet-UI"]["edges"] > 0
+
+    def test_fig4_learning_curves(self):
+        result = run_fig4(MINI, methods=("KUCNet", "KGIN"), eval_every=1)
+        methods = {row.split(" @epoch")[0] for row in result.rows}
+        assert methods == {"KUCNet", "KGIN"}
+        for cells in result.rows.values():
+            assert cells["seconds"] >= 0
+
+    def test_fig7_explanations(self):
+        result = run_fig7(MINI, num_cases=1)
+        assert len(result.rows) == 2  # one case per setting
+        assert result.notes
+
+    def test_table6_stage_times(self):
+        result = run_table6(MINI)
+        for dataset in result.columns:
+            assert result.rows["PPR (s)"][dataset] >= 0
+            assert result.rows["Training (s)"][dataset] > 0
+
+    def test_table9_variant_rows(self):
+        result = run_table9(MINI)
+        assert set(result.rows) == {"KUCNet-random", "KUCNet-w.o.-Attn",
+                                    "KUCNet"}
+        assert len(result.columns) == 4
+
+    def test_table5_multi_fold(self):
+        from repro.experiments import run_table5
+
+        result = run_table5(MINI, methods=["MF", "PPR"], folds=(0, 1))
+        assert set(result.rows) == {"MF", "PPR"}
+        for cells in result.rows.values():
+            assert "new_item:recall" in cells
+            assert "new_user:ndcg" in cells

@@ -1,0 +1,250 @@
+"""Tests for computation graphs: structure, pruning, and Proposition 1."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.data import lastfm_like
+from repro.graph import CollaborativeKG, KnowledgeGraph, UserItemGraph
+from repro.ppr import personalized_pagerank_batch
+from repro.sampling import (build_ui_computation_graph,
+                            build_user_centric_graph, ui_subgraph_layers)
+from repro.sampling.computation_graph import _top_k_per_group
+
+
+@pytest.fixture(scope="module")
+def ckg():
+    ui = UserItemGraph(3, 4, [(0, 0), (0, 1), (1, 1), (1, 2), (2, 3)])
+    kg = KnowledgeGraph(6, 2, [(0, 0, 4), (1, 0, 4), (2, 1, 5), (3, 1, 5)])
+    return CollaborativeKG.build(ui, kg)
+
+
+@pytest.fixture(scope="module")
+def medium():
+    dataset = lastfm_like(seed=1, scale=0.25)
+    return dataset.build_ckg()
+
+
+class TestUserCentricGraph:
+    def test_layer0_is_the_users(self, ckg):
+        graph = build_user_centric_graph(ckg, [0, 2], depth=2, k=None)
+        assert graph.nodes[0].tolist() == [0, 2]
+        assert graph.slots[0].tolist() == [0, 1]
+
+    def test_layer1_matches_out_edges(self, ckg):
+        graph = build_user_centric_graph(ckg, [0], depth=1, k=None)
+        _, _, tails = ckg.out_edges(np.array([0]))
+        assert set(graph.nodes[1].tolist()) == set(np.unique(tails).tolist())
+
+    def test_edges_index_correct_tables(self, ckg):
+        graph = build_user_centric_graph(ckg, [0, 1], depth=3, k=None)
+        for level, layer in enumerate(graph.layers, start=1):
+            assert layer.src_pos.max(initial=-1) < graph.layer_size(level - 1)
+            assert layer.dst_pos.max(initial=-1) < graph.layer_size(level)
+            # dst table rows hold the edge tails
+            assert np.array_equal(graph.nodes[level][layer.dst_pos], layer.tails)
+            assert np.array_equal(graph.nodes[level - 1][layer.src_pos], layer.heads)
+
+    def test_slots_do_not_mix(self, ckg):
+        graph = build_user_centric_graph(ckg, [0, 2], depth=2, k=None)
+        for level, layer in enumerate(graph.layers, start=1):
+            src_slots = graph.slots[level - 1][layer.src_pos]
+            dst_slots = graph.slots[level][layer.dst_pos]
+            assert np.array_equal(src_slots, dst_slots)
+
+    def test_pruning_respects_budget(self, medium):
+        users = [0, 1, 2]
+        ppr = personalized_pagerank_batch(medium, users)
+        k = 5
+        graph = build_user_centric_graph(medium, users, depth=3,
+                                         ppr_scores=ppr.scores, k=k)
+        for level, layer in enumerate(graph.layers, start=1):
+            counts = np.bincount(layer.src_pos, minlength=graph.layer_size(level - 1))
+            assert counts.max(initial=0) <= k
+
+    def test_pruned_graph_is_smaller(self, medium):
+        users = [0, 1]
+        ppr = personalized_pagerank_batch(medium, users)
+        full = build_user_centric_graph(medium, users, depth=3, k=None)
+        pruned = build_user_centric_graph(medium, users, depth=3,
+                                          ppr_scores=ppr.scores, k=5)
+        assert pruned.total_edges() < full.total_edges()
+
+    def test_ppr_pruning_keeps_high_score_tails(self, medium):
+        """PPR sampling keeps tails with higher average score than random."""
+        users = [0]
+        ppr = personalized_pagerank_batch(medium, users)
+        rng = np.random.default_rng(0)
+        ppr_graph = build_user_centric_graph(medium, users, depth=2,
+                                             ppr_scores=ppr.scores, k=3)
+        random_graph = build_user_centric_graph(medium, users, depth=2, k=3,
+                                                sampler="random", rng=rng)
+        score_of = ppr.scores[0]
+        ppr_mean = np.mean([score_of[layer.tails].mean()
+                            for layer in ppr_graph.layers])
+        random_mean = np.mean([score_of[layer.tails].mean()
+                               for layer in random_graph.layers])
+        assert ppr_mean >= random_mean
+
+    def test_random_sampler_deterministic_with_rng(self, medium):
+        a = build_user_centric_graph(medium, [0], depth=2, k=4,
+                                     sampler="random",
+                                     rng=np.random.default_rng(3))
+        b = build_user_centric_graph(medium, [0], depth=2, k=4,
+                                     sampler="random",
+                                     rng=np.random.default_rng(3))
+        assert a.total_edges() == b.total_edges()
+        assert np.array_equal(a.layers[0].tails, b.layers[0].tails)
+
+    def test_final_rows_lookup(self, ckg):
+        graph = build_user_centric_graph(ckg, [0], depth=2, k=None)
+        last = graph.depth
+        nodes = graph.nodes[last]
+        rows = graph.final_rows(0, nodes)
+        assert np.array_equal(graph.nodes[last][rows], nodes)
+
+    def test_final_rows_missing_is_minus_one(self, ckg):
+        graph = build_user_centric_graph(ckg, [0], depth=1, k=None)
+        # user 2's island (item 3) is unreachable from user 0 in 1 hop
+        unreachable = ckg.item_node(3)
+        rows = graph.final_rows(0, np.asarray([unreachable]))
+        assert rows[0] == -1
+
+    def test_validation(self, ckg):
+        with pytest.raises(ValueError):
+            build_user_centric_graph(ckg, [0], depth=0)
+        with pytest.raises(ValueError):
+            build_user_centric_graph(ckg, [], depth=1)
+        with pytest.raises(ValueError):
+            build_user_centric_graph(ckg, [0], depth=1, k=0)
+        with pytest.raises(ValueError):
+            build_user_centric_graph(ckg, [0], depth=1, k=2, sampler="ppr")
+        with pytest.raises(ValueError):
+            build_user_centric_graph(ckg, [0], depth=1, sampler="bogus")
+
+
+class TestUISubgraph:
+    def test_endpoint_layers(self, ckg):
+        node_sets, _ = ui_subgraph_layers(ckg, 0, 1, depth=3)
+        assert node_sets[0] == {ckg.user_node(0)}
+        assert node_sets[3] == {ckg.item_node(1)}
+
+    def test_no_path_gives_empty_sets(self, ckg):
+        # user 0 and item 3 live in disconnected components
+        node_sets, edge_sets = ui_subgraph_layers(ckg, 0, 3, depth=3)
+        assert all(not nodes for nodes in node_sets[1:])
+        assert all(edges.size == 0 for edges in edge_sets[1:])
+
+    def test_edges_connect_adjacent_layers(self, ckg):
+        node_sets, edge_sets = ui_subgraph_layers(ckg, 0, 1, depth=3)
+        for hop in range(1, 4):
+            heads = ckg.heads[edge_sets[hop]]
+            tails = ckg.tails[edge_sets[hop]]
+            assert set(heads.tolist()) <= node_sets[hop - 1]
+            assert set(tails.tolist()) <= node_sets[hop]
+
+    def test_proposition1_nodes_and_edges(self, medium):
+        """Proposition 1: U-I subgraph layers are contained in the
+        user-centric graph layers, for every item."""
+        user = 0
+        depth = 3
+        centric = build_user_centric_graph(medium, [user], depth=depth, k=None)
+        centric_nodes = [set(nodes.tolist()) for nodes in centric.nodes]
+        centric_edges = [set(zip(layer.heads.tolist(), layer.relations.tolist(),
+                                 layer.tails.tolist()))
+                         for layer in centric.layers]
+        rng = np.random.default_rng(0)
+        for item in rng.choice(medium.num_items, size=8, replace=False):
+            node_sets, edge_sets = ui_subgraph_layers(medium, user, int(item), depth)
+            for hop in range(1, depth + 1):
+                assert node_sets[hop] <= centric_nodes[hop]
+                ui_edges = set(zip(medium.heads[edge_sets[hop]].tolist(),
+                                   medium.relations[edge_sets[hop]].tolist(),
+                                   medium.tails[edge_sets[hop]].tolist()))
+                assert ui_edges <= centric_edges[hop - 1]
+
+    def test_eq12_user_centric_cheaper_than_sum_of_pairs(self, medium):
+        """Eq. (12): the merged graph has far fewer edges than the sum of
+        individual U-I computation graphs."""
+        user = 0
+        depth = 3
+        centric = build_user_centric_graph(medium, [user], depth=depth, k=None)
+        pair_total = sum(
+            build_ui_computation_graph(medium, user, item, depth).total_edges()
+            for item in range(medium.num_items)
+        )
+        assert centric.total_edges() < pair_total
+
+
+class TestUIComputationGraph:
+    def test_structure_valid(self, medium):
+        graph = build_ui_computation_graph(medium, 0, 0, depth=3)
+        for level, layer in enumerate(graph.layers, start=1):
+            if layer.num_edges == 0:
+                continue
+            assert np.array_equal(graph.nodes[level][layer.dst_pos], layer.tails)
+            assert np.array_equal(graph.nodes[level - 1][layer.src_pos], layer.heads)
+
+    def test_single_slot(self, medium):
+        graph = build_ui_computation_graph(medium, 0, 0, depth=3)
+        assert graph.num_users == 1
+        for slots in graph.slots:
+            assert np.all(slots == 0)
+
+
+class TestTopKPerGroup:
+    def test_basic(self):
+        groups = np.array([0, 0, 0, 1, 1])
+        scores = np.array([0.1, 0.9, 0.5, 0.3, 0.7])
+        keep = _top_k_per_group(groups, scores, 2)
+        assert sorted(scores[keep].tolist()) == [0.3, 0.5, 0.7, 0.9]
+
+    def test_k_larger_than_group(self):
+        groups = np.array([0, 0, 1])
+        keep = _top_k_per_group(groups, np.array([1.0, 2.0, 3.0]), 10)
+        assert keep.tolist() == [0, 1, 2]
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.lists(st.tuples(st.integers(0, 4), st.floats(0, 1)),
+                    min_size=1, max_size=50),
+           st.integers(1, 5))
+    def test_property_budget_and_top_scores(self, pairs, k):
+        pairs.sort(key=lambda p: p[0])
+        groups = np.array([g for g, _ in pairs])
+        scores = np.array([s for _, s in pairs])
+        keep = _top_k_per_group(groups, scores, k)
+        kept_mask = np.zeros(len(pairs), dtype=bool)
+        kept_mask[keep] = True
+        for group in np.unique(groups):
+            members = groups == group
+            kept = kept_mask & members
+            # budget respected
+            assert kept.sum() <= k
+            assert kept.sum() == min(k, members.sum())
+            # kept scores dominate dropped scores
+            if kept.any() and (members & ~kept_mask).any():
+                assert scores[kept].min() >= scores[members & ~kept_mask].max() - 1e-12
+
+
+class TestPrunedSubsetInvariant:
+    def test_pruned_graph_is_subgraph_of_full(self, medium):
+        """Pruning only removes: every pruned edge set is contained in the
+        unpruned user-centric graph's (Algorithm 1 line 4 is a selection)."""
+        users = [0, 1]
+        ppr = personalized_pagerank_batch(medium, users)
+        full = build_user_centric_graph(medium, users, depth=3, k=None)
+        pruned = build_user_centric_graph(medium, users, depth=3,
+                                          ppr_scores=ppr.scores, k=4)
+        for level in range(3):
+            full_edges = set(zip(
+                full.slots[level + 1][full.layers[level].dst_pos].tolist(),
+                full.layers[level].heads.tolist(),
+                full.layers[level].relations.tolist(),
+                full.layers[level].tails.tolist()))
+            pruned_edges = set(zip(
+                pruned.slots[level + 1][pruned.layers[level].dst_pos].tolist(),
+                pruned.layers[level].heads.tolist(),
+                pruned.layers[level].relations.tolist(),
+                pruned.layers[level].tails.tolist()))
+            assert pruned_edges <= full_edges

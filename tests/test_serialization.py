@@ -1,0 +1,107 @@
+"""Tests for model state serialization and run determinism."""
+
+import numpy as np
+import pytest
+
+from repro.core import KUCNetConfig, KUCNetRecommender, TrainConfig
+from repro.baselines import MF, KGIN, BaselineConfig
+from repro.data import lastfm_like, traditional_split
+
+
+@pytest.fixture(scope="module")
+def split():
+    return traditional_split(lastfm_like(seed=0, scale=0.2), seed=0)
+
+
+class TestKUCNetStateDict:
+    def test_roundtrip_preserves_scores(self, split):
+        source = KUCNetRecommender(KUCNetConfig(dim=8, depth=3, seed=0),
+                                   TrainConfig(epochs=2, k=10, seed=0))
+        source.fit(split)
+        state = source.model.state_dict()
+
+        target = KUCNetRecommender(KUCNetConfig(dim=8, depth=3, seed=99),
+                                   TrainConfig(epochs=0, k=10, seed=0))
+        target.prepare(split)
+        target.model.load_state_dict(state)
+
+        assert np.allclose(source.score_users([0, 1]),
+                           target.score_users([0, 1]))
+
+    def test_state_contains_all_layers(self, split):
+        model = KUCNetRecommender(KUCNetConfig(dim=8, depth=3, seed=0),
+                                  TrainConfig(epochs=1, k=10, seed=0))
+        model.fit(split)
+        names = set(model.model.state_dict())
+        for layer in range(3):
+            assert any(name.startswith(f"layers.{layer}.") for name in names)
+        assert "readout" in names
+
+
+class TestDeterminism:
+    def test_kucnet_same_seed_same_result(self, split):
+        def run():
+            model = KUCNetRecommender(KUCNetConfig(dim=8, depth=3, seed=7),
+                                      TrainConfig(epochs=2, k=10, seed=7))
+            model.fit(split)
+            return model.score_users([0, 1, 2])
+
+        assert np.allclose(run(), run())
+
+    def test_kucnet_different_seed_differs(self, split):
+        def run(seed):
+            model = KUCNetRecommender(KUCNetConfig(dim=8, depth=3, seed=seed),
+                                      TrainConfig(epochs=2, k=10, seed=seed))
+            model.fit(split)
+            return model.score_users([0, 1, 2])
+
+        assert not np.allclose(run(1), run(2))
+
+    @pytest.mark.parametrize("model_cls", [MF, KGIN])
+    def test_baseline_same_seed_same_result(self, split, model_cls):
+        def run():
+            model = model_cls(BaselineConfig(dim=8, epochs=2, seed=3))
+            model.fit(split)
+            return model.score_users([0, 1])
+
+        assert np.allclose(run(), run())
+
+
+class TestBaselineStateDict:
+    def test_mf_roundtrip(self, split):
+        source = MF(BaselineConfig(dim=8, epochs=2, seed=0)).fit(split)
+        target = MF(BaselineConfig(dim=8, epochs=0, seed=5))
+        target.build(split)
+        target.split = split
+        target.load_state_dict(source.state_dict())
+        assert np.allclose(source.score_users([0]), target.score_users([0]))
+
+
+class TestModelPersistence:
+    def test_save_load_roundtrip(self, split, tmp_path):
+        source = KUCNetRecommender(KUCNetConfig(dim=8, depth=3, seed=0),
+                                   TrainConfig(epochs=2, k=10, seed=0))
+        source.fit(split)
+        path = str(tmp_path / "model.npz")
+        source.save(path)
+
+        restored = KUCNetRecommender.load(path, split)
+        assert restored.model_config.dim == 8
+        assert restored.train_config.k == 10
+        assert np.allclose(source.score_users([0, 1, 2]),
+                           restored.score_users([0, 1, 2]))
+
+    def test_save_before_fit_raises(self, tmp_path):
+        rec = KUCNetRecommender()
+        with pytest.raises(RuntimeError):
+            rec.save(str(tmp_path / "x.npz"))
+
+    def test_tuple_k_roundtrip(self, split, tmp_path):
+        from repro.core import kucnet_adaptive
+        source = kucnet_adaptive(KUCNetConfig(dim=8, depth=3, seed=0),
+                                 TrainConfig(epochs=1, k=8, seed=0))
+        source.fit(split)
+        path = str(tmp_path / "adaptive.npz")
+        source.save(path)
+        restored = KUCNetRecommender.load(path, split)
+        assert restored.train_config.k == (8, 4, 3)

@@ -1,0 +1,110 @@
+"""Tests for KUCNetRecommender internals: caching, pools, PPR normalization."""
+
+import numpy as np
+import pytest
+
+from repro.core import KUCNetConfig, KUCNetRecommender, TrainConfig
+from repro.data import lastfm_like, new_item_split, traditional_split
+
+
+@pytest.fixture(scope="module")
+def split():
+    return traditional_split(lastfm_like(seed=0, scale=0.25), seed=0)
+
+
+class TestGraphCache:
+    def test_ppr_sampler_caches_batch_graphs(self, split):
+        rec = KUCNetRecommender(KUCNetConfig(dim=8, depth=3, seed=0),
+                                TrainConfig(epochs=1, k=10, seed=0))
+        rec.prepare(split)
+        first = rec._graph_for((0, 1, 2))
+        second = rec._graph_for((0, 1, 2))
+        assert first is second
+
+    def test_random_sampler_does_not_cache(self, split):
+        rec = KUCNetRecommender(KUCNetConfig(dim=8, depth=3, seed=0),
+                                TrainConfig(epochs=1, k=10, sampler="random",
+                                            seed=0))
+        rec.prepare(split)
+        first = rec._graph_for((0, 1, 2))
+        second = rec._graph_for((0, 1, 2))
+        assert first is not second
+
+
+class TestNegativePool:
+    def test_negatives_only_from_training_items(self):
+        dataset = lastfm_like(seed=0, scale=0.25)
+        split = new_item_split(dataset, fold=0, seed=0)
+        rec = KUCNetRecommender(KUCNetConfig(dim=8, depth=3, seed=0),
+                                TrainConfig(epochs=1, k=10, pairs_per_user=8,
+                                            seed=0))
+        rec.prepare(split)
+        train_nodes = set(rec.ckg.item_nodes[np.unique(split.train.items)])
+        users = split.train.users_with_interactions()[:10]
+        _, pos_nodes, neg_nodes = rec._sample_pairs(users, split)
+        assert set(neg_nodes.tolist()) <= train_nodes
+        assert set(pos_nodes.tolist()) <= train_nodes
+
+
+class TestPPRNormalization:
+    def test_degree_normalization_changes_scores(self, split):
+        raw = KUCNetRecommender(
+            KUCNetConfig(dim=8, depth=3, seed=0),
+            TrainConfig(epochs=1, k=10, seed=0, ppr_degree_normalized=False))
+        raw.prepare(split)
+        normalized = KUCNetRecommender(
+            KUCNetConfig(dim=8, depth=3, seed=0),
+            TrainConfig(epochs=1, k=10, seed=0, ppr_degree_normalized=True))
+        normalized.prepare(split)
+        assert not np.allclose(raw.ppr_scores, normalized.ppr_scores)
+        degrees = np.diff(raw.ckg.indptr).astype(float)
+        expected = raw.ppr_scores / np.maximum(degrees, 1.0)[None, :]
+        assert np.allclose(normalized.ppr_scores, expected)
+
+    def test_normalization_shifts_ranking_away_from_hubs(self, split):
+        rec = KUCNetRecommender(
+            KUCNetConfig(dim=8, depth=3, seed=0),
+            TrainConfig(epochs=1, k=10, seed=0, ppr_degree_normalized=False))
+        rec.prepare(split)
+        degrees = np.diff(rec.ckg.indptr).astype(float)
+        raw_top = np.argsort(-rec.ppr_scores[0])[:20]
+        norm_scores = rec.ppr_scores[0] / np.maximum(degrees, 1.0)
+        norm_top = np.argsort(-norm_scores)[:20]
+        # degree-normalized ranking prefers lower-degree nodes on average
+        assert degrees[norm_top].mean() <= degrees[raw_top].mean()
+
+
+class TestScoreOverrides:
+    def test_score_users_k_override(self, split):
+        rec = KUCNetRecommender(KUCNetConfig(dim=8, depth=3, seed=0),
+                                TrainConfig(epochs=1, k=5, seed=0))
+        rec.fit(split)
+        pruned = rec.score_users([0, 1])
+        full = rec.score_users([0, 1], k=None)
+        assert pruned.shape == full.shape
+        # unpruned graphs reach at least as many items (non-zero scores)
+        assert (full != 0).sum() >= (pruned != 0).sum()
+
+    def test_count_inference_edges_ordering(self, split):
+        rec = KUCNetRecommender(KUCNetConfig(dim=8, depth=3, seed=0),
+                                TrainConfig(epochs=1, k=5, seed=0))
+        rec.prepare(split)
+        users = [0, 1]
+        pruned = rec.count_inference_edges(users, mode="pruned")
+        full = rec.count_inference_edges(users, mode="full")
+        ui = rec.count_inference_edges(users, mode="ui")
+        assert pruned <= full
+        assert full < ui
+
+    def test_ui_scoring_matches_for_reachable_items(self, split):
+        """Per-pair U-I scoring must agree with user-centric scoring when
+        no pruning is applied (Proposition 1 at the model level)."""
+        rec = KUCNetRecommender(KUCNetConfig(dim=8, depth=3, seed=0),
+                                TrainConfig(epochs=1, k=None, seed=0))
+        rec.fit(split)
+        user = 0
+        centric = rec.score_users([user], k=None)[0]
+        items = list(range(8))
+        ui = rec.score_users_via_ui_subgraphs([user], items=items)[0]
+        for item in items:
+            assert ui[item] == pytest.approx(centric[item], abs=1e-8)

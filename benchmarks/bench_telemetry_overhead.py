@@ -1,0 +1,74 @@
+"""Overhead of the telemetry layer on the autodiff hot path.
+
+The observability contract is that disabled telemetry costs <2% on the
+``bench_engine_ops.py`` primitives: disabled counters are a single flag
+check and disabled spans skip the registry and span stack entirely.
+This bench measures the same gather/segment-sum workload as
+``bench_engine_ops.py`` with telemetry off (the default) and on, plus
+the raw cost of a disabled span, so regressions show up as a widening
+gap rather than a silent slowdown of the engine bench.
+"""
+
+import numpy as np
+import pytest
+
+from repro import telemetry as tm
+from repro.autodiff import Tensor, gather_rows, segment_sum
+
+NUM_EDGES = 50_000
+NUM_NODES = 5_000
+DIM = 48
+
+RNG = np.random.default_rng(0)
+SRC = RNG.integers(0, NUM_NODES, size=NUM_EDGES)
+DST = np.sort(RNG.integers(0, NUM_NODES, size=NUM_EDGES))
+
+
+@pytest.fixture(autouse=True)
+def reset_telemetry():
+    tm.disable()
+    tm.reset()
+    yield
+    tm.disable()
+    tm.reset()
+
+
+def _message_passing_step(x_nodes, x_edges):
+    x_nodes.zero_grad()
+    x_edges.zero_grad()
+    gathered = gather_rows(x_nodes, SRC)
+    out = segment_sum(gathered * x_edges, DST, NUM_NODES)
+    (out * out).sum().backward()
+    return out
+
+
+def test_hot_path_telemetry_disabled(benchmark):
+    x_nodes = Tensor(RNG.normal(size=(NUM_NODES, DIM)), requires_grad=True)
+    x_edges = Tensor(RNG.normal(size=(NUM_EDGES, DIM)), requires_grad=True)
+    benchmark(_message_passing_step, x_nodes, x_edges)
+    assert tm.get_registry().is_empty()
+
+
+def test_hot_path_telemetry_enabled(benchmark):
+    x_nodes = Tensor(RNG.normal(size=(NUM_NODES, DIM)), requires_grad=True)
+    x_edges = Tensor(RNG.normal(size=(NUM_EDGES, DIM)), requires_grad=True)
+    tm.enable()
+    benchmark(_message_passing_step, x_nodes, x_edges)
+    assert tm.get_registry().counters["autodiff.gather_rows"].total > 0
+
+
+def test_disabled_span_cost(benchmark):
+    """Raw per-span cost with telemetry off (two perf_counter calls)."""
+
+    def run():
+        with tm.span("bench.noop"):
+            pass
+
+    benchmark(run)
+    assert tm.get_registry().is_empty()
+
+
+def test_disabled_counter_cost(benchmark):
+    """Raw per-counter cost with telemetry off (one flag check)."""
+    benchmark(tm.counter, "bench.noop", 1)
+    assert tm.get_registry().is_empty()

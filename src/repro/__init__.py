@@ -11,11 +11,13 @@ Top-level convenience re-exports; see subpackage docs for details:
 * :mod:`repro.core` -- the KUCNet model, trainer, and variants;
 * :mod:`repro.eval` -- metrics and the all-ranking protocol;
 * :mod:`repro.baselines` -- the 13 comparison methods;
-* :mod:`repro.experiments` -- per-table/figure experiment runners.
+* :mod:`repro.experiments` -- per-table/figure experiment runners;
+* :mod:`repro.telemetry` -- spans, counters, run manifests, sinks.
 """
 
 __version__ = "1.0.0"
 
+from . import telemetry
 from .core import KUCNet, KUCNetConfig, KUCNetRecommender, TrainConfig
 from .data import (alibaba_ifashion_like, amazon_book_like, disgenet_like,
                    lastfm_like, new_item_split, new_user_split,
@@ -28,5 +30,5 @@ __all__ = [
     "lastfm_like", "amazon_book_like", "alibaba_ifashion_like",
     "disgenet_like",
     "traditional_split", "new_item_split", "new_user_split",
-    "evaluate",
+    "evaluate", "telemetry",
 ]

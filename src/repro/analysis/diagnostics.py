@@ -16,7 +16,8 @@ import numpy as np
 
 from ..data import Dataset, Split
 from ..graph import CollaborativeKG
-from ..sampling import ComputationGraph, build_user_centric_graph
+from ..sampling import (ComputationGraph, build_user_centric_graph,
+                        record_graph_instruments)
 
 
 def degree_histogram(ckg: CollaborativeKG,
@@ -45,7 +46,14 @@ class GraphStats:
 
 
 def computation_graph_stats(graph: ComputationGraph) -> GraphStats:
-    """Layerwise node/edge counts (the growth Eq. 12 reasons about)."""
+    """Layerwise node/edge counts (the growth Eq. 12 reasons about).
+
+    When telemetry is enabled the same counts are also emitted as
+    ``graph.nodes_per_layer.l*`` / ``graph.edges_per_layer.l*``
+    instruments, so explicit diagnostics and profiled runs share one
+    metric namespace.
+    """
+    record_graph_instruments(graph)
     return GraphStats(
         nodes_per_layer=[graph.layer_size(level)
                          for level in range(graph.depth + 1)],

@@ -11,6 +11,7 @@ from typing import Optional, Sequence
 
 import numpy as np
 
+from ..telemetry import tracer as _tracer
 from .tensor import Tensor, _unbroadcast
 
 
@@ -23,6 +24,9 @@ def gather_rows(x: Tensor, indices: np.ndarray) -> Tensor:
     multiple times accumulate).
     """
     indices = np.asarray(indices, dtype=np.int64)
+    if _tracer.STATE.enabled:
+        _tracer.counter("autodiff.gather_rows")
+        _tracer.counter("autodiff.gather_rows.rows", indices.size)
     out = Tensor(x.data[indices], parents=(x,))
     out.requires_grad = Tensor._needs_graph(x)
 
@@ -48,6 +52,9 @@ def segment_sum(x: Tensor, segment_ids: np.ndarray, num_segments: int) -> Tensor
             f"segment_ids has length {segment_ids.shape[0]} but x has "
             f"{x.data.shape[0]} rows"
         )
+    if _tracer.STATE.enabled:
+        _tracer.counter("autodiff.segment_sum")
+        _tracer.counter("autodiff.segment_sum.rows", segment_ids.size)
     out_shape = (num_segments,) + x.data.shape[1:]
     out_data = np.zeros(out_shape, dtype=x.data.dtype)
     np.add.at(out_data, segment_ids, x.data)

@@ -27,6 +27,8 @@ from typing import Callable, Iterable, Optional, Sequence, Union
 
 import numpy as np
 
+from ..telemetry import tracer as _tracer
+
 ArrayLike = Union[np.ndarray, float, int, Sequence]
 
 
@@ -176,9 +178,18 @@ class Tensor:
                 if id(parent) not in visited:
                     stack.append((parent, False))
 
-        for node in reversed(order):
-            if node._backward_fn is not None and node.grad is not None:
-                node._backward_fn()
+        if _tracer.STATE.enabled:
+            # Tape shape metrics: length of the recorded graph and the
+            # ndarray bytes it holds (histogram max = peak per backward).
+            _tracer.counter("autodiff.backward_calls")
+            _tracer.histogram("autodiff.tape_nodes", len(order))
+            _tracer.histogram("autodiff.tape_bytes",
+                              sum(node.data.nbytes for node in order))
+
+        with _tracer.span("autodiff.backward"):
+            for node in reversed(order):
+                if node._backward_fn is not None and node.grad is not None:
+                    node._backward_fn()
 
     @staticmethod
     def _needs_graph(*tensors: "Tensor") -> bool:

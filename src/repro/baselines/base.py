@@ -9,13 +9,13 @@ only provide a differentiable ``pair_scores(users, items)`` and a full
 
 from __future__ import annotations
 
-import time
 from abc import ABC, abstractmethod
 from dataclasses import dataclass
 from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from .. import telemetry
 from ..autodiff import Adam, Module, Tensor, bpr_loss
 from ..data import Split
 
@@ -103,27 +103,30 @@ class BPRModelRecommender(Recommender, Module, ABC):
         self.train()
         cumulative = 0.0
         for epoch in range(self.config.epochs):
-            started = time.perf_counter()
-            order = self.rng.permutation(num_interactions)
-            losses = []
-            for start in range(0, num_interactions, self.config.batch_size):
-                batch = order[start:start + self.config.batch_size]
-                batch_users = users[batch]
-                batch_pos = items[batch]
-                batch_neg = self._sample_negatives(split, batch_users, num_items)
+            with telemetry.span("train.epoch") as epoch_span:
+                order = self.rng.permutation(num_interactions)
+                losses = []
+                for start in range(0, num_interactions, self.config.batch_size):
+                    batch = order[start:start + self.config.batch_size]
+                    batch_users = users[batch]
+                    batch_pos = items[batch]
+                    batch_neg = self._sample_negatives(split, batch_users,
+                                                       num_items)
 
-                pos_scores = self.pair_scores(batch_users, batch_pos)
-                neg_scores = self.pair_scores(batch_users, batch_neg)
-                loss = bpr_loss(pos_scores, neg_scores)
-                extra = self.extra_loss(batch_users, batch_pos, batch_neg)
-                if extra is not None:
-                    loss = loss + extra
+                    with telemetry.span("train.batch"):
+                        pos_scores = self.pair_scores(batch_users, batch_pos)
+                        neg_scores = self.pair_scores(batch_users, batch_neg)
+                        loss = bpr_loss(pos_scores, neg_scores)
+                        extra = self.extra_loss(batch_users, batch_pos,
+                                                batch_neg)
+                        if extra is not None:
+                            loss = loss + extra
 
-                optimizer.zero_grad()
-                loss.backward()
-                optimizer.step()
-                losses.append(loss.item())
-            cumulative += time.perf_counter() - started
+                        optimizer.zero_grad()
+                        loss.backward()
+                        optimizer.step()
+                    losses.append(loss.item())
+            cumulative += epoch_span.elapsed
             self.epoch_history.append((epoch, float(np.mean(losses)), cumulative))
             if self.config.verbose:
                 print(f"{self.name} epoch {epoch}: loss={np.mean(losses):.4f}")

@@ -5,10 +5,12 @@ Usage::
     python -m repro list
     python -m repro run table3 [--profile quick|full] [--output DIR]
     python -m repro datasets --output DIR [--scale 1.0]
+    python -m repro profile [--dataset NAME] [--sink table|jsonl] [--out FILE]
 
 ``run`` executes one experiment runner (a paper table or figure) and
 prints the measured-vs-paper rows; ``datasets`` materializes the four
-synthetic datasets as TSV directories.
+synthetic datasets as TSV directories; ``profile`` runs one instrumented
+train/eval pass and dumps the telemetry (see ``docs/observability.md``).
 """
 
 from __future__ import annotations
@@ -19,7 +21,7 @@ from typing import List, Optional
 
 
 def build_parser() -> argparse.ArgumentParser:
-    """Construct the ``repro`` argument parser (list / run / datasets)."""
+    """Construct the ``repro`` argument parser (list / run / datasets / profile)."""
     parser = argparse.ArgumentParser(
         prog="repro",
         description="KUCNet reproduction — experiment runner CLI")
@@ -40,12 +42,32 @@ def build_parser() -> argparse.ArgumentParser:
                           help="directory to write TSV dataset folders into")
     datasets.add_argument("--scale", type=float, default=1.0)
     datasets.add_argument("--seed", type=int, default=0)
+
+    profile = commands.add_parser(
+        "profile",
+        help="run an instrumented train/eval pass and dump telemetry")
+    profile.add_argument("--dataset", default="lastfm_like",
+                         help="synthetic dataset preset (default lastfm_like)")
+    profile.add_argument("--scale", type=float, default=0.15,
+                         help="dataset size multiplier (default 0.15)")
+    profile.add_argument("--seed", type=int, default=0)
+    profile.add_argument("--epochs", type=int, default=2)
+    profile.add_argument("--depth", type=int, default=2,
+                         help="KUCNet layer count L")
+    profile.add_argument("--k", type=int, default=10,
+                         help="PPR top-K pruning budget")
+    profile.add_argument("--sink", default="table",
+                         choices=["table", "jsonl"],
+                         help="output format: human-readable table or JSONL")
+    profile.add_argument("--out", default=None,
+                         help="output path (required for --sink jsonl)")
     return parser
 
 
 def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point; returns a process exit code."""
-    args = build_parser().parse_args(argv)
+    parser = build_parser()
+    args = parser.parse_args(argv)
 
     if args.command == "list":
         from .experiments import EXPERIMENTS
@@ -78,7 +100,71 @@ def main(argv: Optional[List[str]] = None) -> int:
             print(f"wrote {directory}: {dataset.statistics()}")
         return 0
 
+    if args.command == "profile":
+        return _run_profile(args)
+
+    # Defensive fallback: argparse rejects unknown subcommands itself, but
+    # if a registered command ever goes unhandled we still fail loudly
+    # instead of silently succeeding.
+    parser.print_usage(sys.stderr)
+    print(f"repro: unhandled command {args.command!r}", file=sys.stderr)
     return 2
+
+
+def _run_profile(args: argparse.Namespace) -> int:
+    """``repro profile``: instrumented fit + evaluate on a tiny dataset."""
+    import dataclasses
+
+    from . import telemetry
+    from .core import KUCNetConfig, KUCNetRecommender, TrainConfig
+    from .data import PRESETS, traditional_split
+    from .eval import evaluate
+
+    if args.dataset not in PRESETS:
+        print(f"unknown dataset {args.dataset!r}; "
+              f"choose from {sorted(PRESETS)}", file=sys.stderr)
+        return 2
+    if args.sink == "jsonl" and not args.out:
+        print("--sink jsonl requires --out PATH", file=sys.stderr)
+        return 2
+
+    dataset = PRESETS[args.dataset](seed=args.seed, scale=args.scale)
+    split = traditional_split(dataset, seed=args.seed)
+    model_config = KUCNetConfig(dim=16, depth=args.depth, seed=args.seed)
+    train_config = TrainConfig(epochs=args.epochs, batch_users=16,
+                               k=args.k, seed=args.seed)
+
+    telemetry.reset()
+    with telemetry.enabled():
+        model = KUCNetRecommender(model_config, train_config)
+        model.fit(split)
+        result = evaluate(model, split, max_users=32, seed=args.seed)
+
+    manifest = telemetry.RunManifest(
+        run=f"profile:{args.dataset}",
+        seed=args.seed,
+        config={"model": dataclasses.asdict(model_config),
+                "train": dataclasses.asdict(train_config),
+                "scale": args.scale},
+        dataset=dataset.statistics(),
+        metrics={"recall@20": result.recall, "ndcg@20": result.ndcg,
+                 "eval_users": result.num_users},
+    )
+
+    if args.sink == "jsonl":
+        lines = telemetry.write_jsonl(args.out, manifest=manifest)
+        print(f"[wrote {args.out}: {lines} records]")
+    else:
+        print(manifest.to_json())
+        print()
+        print(telemetry.summary_table())
+        if args.out:
+            with open(args.out, "w", encoding="utf-8") as handle:
+                handle.write(manifest.to_json() + "\n\n")
+                handle.write(telemetry.summary_table() + "\n")
+            print(f"\n[saved {args.out}]")
+    print(f"\n{result}", file=sys.stderr)
+    return 0
 
 
 if __name__ == "__main__":

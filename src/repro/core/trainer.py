@@ -19,12 +19,12 @@ Variants (Table IX / Fig. 6) are selected by configuration:
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from .. import telemetry
 from ..autodiff import Adam, bpr_loss
 from ..data import Split
 from ..graph import CollaborativeKG
@@ -105,13 +105,13 @@ class KUCNetRecommender:
     def prepare(self, split: Split) -> None:
         """Build the CKG and PPR scores without training (preprocessing)."""
         self.ckg = split.dataset.build_ckg(split.train)
-        started = time.perf_counter()
-        ppr = personalized_pagerank_batch(
-            self.ckg, list(range(self.ckg.num_users)),
-            alpha=self.train_config.ppr_alpha,
-            iterations=self.train_config.ppr_iterations,
-        )
-        self.ppr_seconds = time.perf_counter() - started
+        with telemetry.span("ppr.precompute") as ppr_span:
+            ppr = personalized_pagerank_batch(
+                self.ckg, list(range(self.ckg.num_users)),
+                alpha=self.train_config.ppr_alpha,
+                iterations=self.train_config.ppr_iterations,
+            )
+        self.ppr_seconds = ppr_span.elapsed
         self.ppr_scores = ppr.scores
         if self.train_config.ppr_degree_normalized:
             degrees = np.diff(self.ckg.indptr).astype(np.float64)
@@ -124,6 +124,11 @@ class KUCNetRecommender:
     def fit(self, split: Split,
             callback: Optional[Callable[[EpochStats], None]] = None) -> "KUCNetRecommender":
         """Train with BPR (Eq. 14); ``callback`` fires after each epoch."""
+        with telemetry.span("train.fit"):
+            return self._fit(split, callback)
+
+    def _fit(self, split: Split,
+             callback: Optional[Callable[[EpochStats], None]]) -> "KUCNetRecommender":
         self.prepare(split)
         config = self.train_config
         optimizer = Adam(self.model.parameters(), lr=config.learning_rate,
@@ -135,16 +140,16 @@ class KUCNetRecommender:
         best_loss = np.inf
         stale_epochs = 0
         for epoch in range(config.epochs):
-            started = time.perf_counter()
-            order = self._rng.permutation(len(train_users))
-            losses = []
-            for start in range(0, len(train_users), config.batch_users):
-                batch = [train_users[index]
-                         for index in order[start:start + config.batch_users]]
-                loss_value = self._train_batch(batch, split, optimizer)
-                if loss_value is not None:
-                    losses.append(loss_value)
-            seconds = time.perf_counter() - started
+            with telemetry.span("train.epoch") as epoch_span:
+                order = self._rng.permutation(len(train_users))
+                losses = []
+                for start in range(0, len(train_users), config.batch_users):
+                    batch = [train_users[index]
+                             for index in order[start:start + config.batch_users]]
+                    loss_value = self._train_batch(batch, split, optimizer)
+                    if loss_value is not None:
+                        losses.append(loss_value)
+            seconds = epoch_span.elapsed
             cumulative += seconds
             stats = EpochStats(epoch=epoch,
                                loss=float(np.mean(losses)) if losses else 0.0,
@@ -166,22 +171,24 @@ class KUCNetRecommender:
 
     def _train_batch(self, users: Sequence[int], split: Split,
                      optimizer: Adam) -> Optional[float]:
-        config = self.train_config
-        graph = self._graph_for(tuple(users))
-        self.model.train()
-        propagation = self.model.propagate(graph)
+        with telemetry.span("train.batch"):
+            graph = self._graph_for(tuple(users))
+            self.model.train()
+            with telemetry.span("train.forward"):
+                propagation = self.model.propagate(graph)
 
-        slots, pos_nodes, neg_nodes = self._sample_pairs(users, split)
-        if slots.size == 0:
-            return None
-        pos_scores = self.model.pair_scores(propagation, slots, pos_nodes)
-        neg_scores = self.model.pair_scores(propagation, slots, neg_nodes)
-        loss = bpr_loss(pos_scores, neg_scores)
+                slots, pos_nodes, neg_nodes = self._sample_pairs(users, split)
+                if slots.size == 0:
+                    return None
+                pos_scores = self.model.pair_scores(propagation, slots, pos_nodes)
+                neg_scores = self.model.pair_scores(propagation, slots, neg_nodes)
+                loss = bpr_loss(pos_scores, neg_scores)
+            telemetry.counter("train.pairs", slots.size)
 
-        optimizer.zero_grad()
-        loss.backward()
-        optimizer.step()
-        return loss.item()
+            optimizer.zero_grad()
+            loss.backward()
+            optimizer.step()
+            return loss.item()
 
     def _sample_pairs(self, users: Sequence[int], split: Split):
         """Sample (slot, i+, i-) training triplets for a user batch.

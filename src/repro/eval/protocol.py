@@ -12,6 +12,7 @@ from typing import Dict, Optional, Protocol, Sequence
 
 import numpy as np
 
+from .. import telemetry
 from ..data import Split
 from .metrics import ndcg_at_n, rank_items, recall_at_n
 
@@ -73,17 +74,20 @@ def evaluate(model: Scorer, split: Split, n: int = 20,
     per_user_ndcg: Dict[int, float] = {}
     for start in range(0, len(users), batch_size):
         batch = users[start:start + batch_size]
-        scores = model.score_users(batch)
+        with telemetry.span("eval.score"):
+            scores = model.score_users(batch)
         if scores.shape[0] != len(batch):
             raise ValueError(
                 f"scorer returned {scores.shape[0]} rows for {len(batch)} users"
             )
-        for row, user in enumerate(batch):
-            exclude = split.train.positives(user)
-            ranked = rank_items(scores[row], exclude, n)
-            relevant = split.test_positives[user]
-            per_user_recall[user] = recall_at_n(ranked, relevant, n)
-            per_user_ndcg[user] = ndcg_at_n(ranked, relevant, n)
+        with telemetry.span("eval.rank"):
+            for row, user in enumerate(batch):
+                exclude = split.train.positives(user)
+                ranked = rank_items(scores[row], exclude, n)
+                relevant = split.test_positives[user]
+                per_user_recall[user] = recall_at_n(ranked, relevant, n)
+                per_user_ndcg[user] = ndcg_at_n(ranked, relevant, n)
+        telemetry.counter("eval.users", len(batch))
 
     return EvalResult(
         recall=float(np.mean(list(per_user_recall.values()))),

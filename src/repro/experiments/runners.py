@@ -8,11 +8,11 @@ call these and save the renderings.
 
 from __future__ import annotations
 
-import time
 from typing import Callable, Dict, List, Optional, Sequence
 
 import numpy as np
 
+from .. import telemetry
 from ..data import (PRESETS, Dataset, Split, new_item_split, new_user_split,
                     traditional_split)
 from ..eval import evaluate
@@ -187,15 +187,21 @@ def run_table6(profile: Optional[Profile] = None) -> TableResult:
         dataset = PRESETS[dataset_name](seed=0, scale=profile.scale)
         split = traditional_split(dataset, seed=0)
         model = kucnet_settings(dataset_name, "traditional", profile)
-        model.fit(split)
-        started = time.perf_counter()
-        users = split.test_users[:profile.eval_users or len(split.test_users)]
-        for start in range(0, len(users), 64):
-            model.score_users(users[start:start + 64])
-        inference = time.perf_counter() - started
-        rows["PPR (s)"][dataset_name] = model.ppr_seconds
-        rows["Training (s)"][dataset_name] = model.history[-1].cumulative_seconds
-        rows["Inference (s)"][dataset_name] = inference
+        # Phase attribution comes from the telemetry registry: the
+        # trainer's ppr.precompute / train.epoch spans plus an eval.score
+        # span around the inference loop.
+        telemetry.reset()
+        with telemetry.enabled():
+            model.fit(split)
+            users = split.test_users[:profile.eval_users
+                                     or len(split.test_users)]
+            with telemetry.span("eval.score"):
+                for start in range(0, len(users), 64):
+                    model.score_users(users[start:start + 64])
+        spans = telemetry.get_registry().snapshot()["spans"]
+        rows["PPR (s)"][dataset_name] = spans["ppr.precompute"]["total_seconds"]
+        rows["Training (s)"][dataset_name] = spans["train.epoch"]["total_seconds"]
+        rows["Inference (s)"][dataset_name] = spans["eval.score"]["total_seconds"]
     result = TableResult(
         title=f"Table VI analogue — running time (profile={profile.name})",
         columns=RECOMMENDATION_DATASETS, rows=rows)
@@ -416,29 +422,24 @@ def run_fig6(profile: Optional[Profile] = None,
 
     rows: Dict[str, Dict[str, float]] = {}
 
-    started = time.perf_counter()
-    model.score_users_via_ui_subgraphs(users)
-    ui_seconds = time.perf_counter() - started
-    rows["KUCNet-UI"] = {
-        "edges": model.count_inference_edges(users, mode="ui"),
-        "seconds": round(ui_seconds, 3),
-    }
-
-    started = time.perf_counter()
-    model.score_users(users, k=None)
-    full_seconds = time.perf_counter() - started
-    rows["KUCNet-w.o.-PPR"] = {
-        "edges": model.count_inference_edges(users, mode="full"),
-        "seconds": round(full_seconds, 3),
-    }
-
-    started = time.perf_counter()
-    model.score_users(users)
-    pruned_seconds = time.perf_counter() - started
-    rows["KUCNet"] = {
-        "edges": model.count_inference_edges(users, mode="pruned"),
-        "seconds": round(pruned_seconds, 3),
-    }
+    # One span per strategy; wall-clock comes from the telemetry registry.
+    telemetry.reset()
+    with telemetry.enabled():
+        with telemetry.span("eval.score_ui"):
+            model.score_users_via_ui_subgraphs(users)
+        with telemetry.span("eval.score_full"):
+            model.score_users(users, k=None)
+        with telemetry.span("eval.score_pruned"):
+            model.score_users(users)
+    spans = telemetry.get_registry().snapshot()["spans"]
+    for label, span_name, mode in (
+            ("KUCNet-UI", "eval.score_ui", "ui"),
+            ("KUCNet-w.o.-PPR", "eval.score_full", "full"),
+            ("KUCNet", "eval.score_pruned", "pruned")):
+        rows[label] = {
+            "edges": model.count_inference_edges(users, mode=mode),
+            "seconds": round(spans[span_name]["total_seconds"], 3),
+        }
     result = TableResult(
         title=f"Fig. 6 analogue — inference cost on {dataset_name} for "
               f"{len(users)} users (profile={profile.name})",

@@ -7,6 +7,7 @@ from typing import Dict, List, Optional, Set, Tuple
 
 import numpy as np
 
+from .. import telemetry
 from ..autodiff import Adam, log_sigmoid
 from ..graph import KnowledgeGraph
 from .scoring import SCORERS, TripletScorer
@@ -85,23 +86,25 @@ class LinkPredictor:
         num = triplets.shape[0]
         self.losses = []
         for _ in range(config.epochs):
-            order = self.rng.permutation(num)
-            epoch_losses = []
-            for start in range(0, num, config.batch_size):
-                batch = triplets[order[start:start + config.batch_size]]
-                repeated = np.repeat(batch, config.num_negatives, axis=0)
-                corrupted = self.rng.integers(
-                    0, kg.num_entities, size=repeated.shape[0])
-                true_scores = self.model.score(repeated[:, 0], repeated[:, 1],
-                                               repeated[:, 2])
-                false_scores = self.model.score(repeated[:, 0], repeated[:, 1],
-                                                corrupted)
-                loss = -log_sigmoid(true_scores - false_scores).mean()
-                optimizer.zero_grad()
-                loss.backward()
-                optimizer.step()
-                epoch_losses.append(loss.item())
-            self.losses.append(float(np.mean(epoch_losses)))
+            with telemetry.span("train.epoch"):
+                order = self.rng.permutation(num)
+                epoch_losses = []
+                for start in range(0, num, config.batch_size):
+                    batch = triplets[order[start:start + config.batch_size]]
+                    repeated = np.repeat(batch, config.num_negatives, axis=0)
+                    corrupted = self.rng.integers(
+                        0, kg.num_entities, size=repeated.shape[0])
+                    with telemetry.span("train.batch"):
+                        true_scores = self.model.score(
+                            repeated[:, 0], repeated[:, 1], repeated[:, 2])
+                        false_scores = self.model.score(
+                            repeated[:, 0], repeated[:, 1], corrupted)
+                        loss = -log_sigmoid(true_scores - false_scores).mean()
+                        optimizer.zero_grad()
+                        loss.backward()
+                        optimizer.step()
+                    epoch_losses.append(loss.item())
+                self.losses.append(float(np.mean(epoch_losses)))
         return self
 
     # ------------------------------------------------------------------
@@ -122,10 +125,11 @@ class LinkPredictor:
         test_triplets = np.asarray(test_triplets, dtype=np.int64)
         if test_triplets.size == 0:
             raise ValueError("no test triplets")
-        ranks = np.asarray([
-            self.rank_tail(int(h), int(r), int(t))
-            for h, r, t in test_triplets
-        ], dtype=np.float64)
+        with telemetry.span("eval.rank"):
+            ranks = np.asarray([
+                self.rank_tail(int(h), int(r), int(t))
+                for h, r, t in test_triplets
+            ], dtype=np.float64)
         return RankingResult(
             mrr=float((1.0 / ranks).mean()),
             hits_at_1=float((ranks <= 1).mean()),

@@ -22,6 +22,7 @@ from typing import Optional, Sequence
 import numpy as np
 import scipy.sparse as sp
 
+from .. import telemetry
 from ..graph import CollaborativeKG
 
 DEFAULT_ALPHA = 0.15
@@ -113,12 +114,18 @@ def personalized_pagerank_batch(ckg: CollaborativeKG, users: Sequence[int],
 
     ranks = restart.copy()
     residual = np.inf
-    for _ in range(iterations):
-        updated = (1.0 - alpha) * (matrix @ ranks) + alpha * restart
-        residual = float(np.abs(updated - ranks).max())
-        ranks = updated
-        if tolerance > 0.0 and residual < tolerance:
-            break
+    with telemetry.span("ppr.power_iteration"):
+        sweeps = 0
+        for _ in range(iterations):
+            updated = (1.0 - alpha) * (matrix @ ranks) + alpha * restart
+            residual = float(np.abs(updated - ranks).max())
+            ranks = updated
+            sweeps += 1
+            if tolerance > 0.0 and residual < tolerance:
+                break
+    telemetry.counter("ppr.sweeps", sweeps)
+    telemetry.counter("ppr.users", user_array.size)
+    telemetry.gauge("ppr.residual", residual)
 
     return PPRScores(users=user_array, scores=ranks.T.copy(), residual=residual)
 

@@ -2,10 +2,11 @@
 
 from .computation_graph import (ComputationGraph, LayerEdges,
                                 build_ui_computation_graph,
-                                build_user_centric_graph, ui_subgraph_layers)
+                                build_user_centric_graph,
+                                record_graph_instruments, ui_subgraph_layers)
 
 __all__ = [
     "ComputationGraph", "LayerEdges",
     "build_user_centric_graph", "build_ui_computation_graph",
-    "ui_subgraph_layers",
+    "ui_subgraph_layers", "record_graph_instruments",
 ]

@@ -29,6 +29,7 @@ from typing import List, Optional, Sequence, Set, Tuple, Union
 
 import numpy as np
 
+from .. import telemetry
 from ..graph import CollaborativeKG
 
 
@@ -164,47 +165,74 @@ def build_user_centric_graph(
         raise ValueError("users must be non-empty")
     rng = rng or np.random.default_rng()
 
-    graph = ComputationGraph(users=user_array, num_ckg_nodes=ckg.num_nodes)
-    # Layer 0: one row per slot, holding the user's node.
-    graph.slots.append(np.arange(user_array.size, dtype=np.int64))
-    graph.nodes.append(user_array.copy())
+    with telemetry.span("graph.build"):
+        graph = ComputationGraph(users=user_array, num_ckg_nodes=ckg.num_nodes)
+        # Layer 0: one row per slot, holding the user's node.
+        graph.slots.append(np.arange(user_array.size, dtype=np.int64))
+        graph.nodes.append(user_array.copy())
 
-    for layer_k in k_schedule:
-        prev_slots = graph.slots[-1]
-        prev_nodes = graph.nodes[-1]
+        for layer_k in k_schedule:
+            prev_slots = graph.slots[-1]
+            prev_nodes = graph.nodes[-1]
 
-        edge_ids = ckg.out_edge_ids(prev_nodes)
-        counts = ckg.indptr[prev_nodes + 1] - ckg.indptr[prev_nodes]
-        src_pos = np.repeat(np.arange(prev_nodes.size, dtype=np.int64), counts)
-        edge_slots = prev_slots[src_pos]
-        relations = ckg.relations[edge_ids]
-        heads = ckg.heads[edge_ids]
-        tails = ckg.tails[edge_ids]
+            edge_ids = ckg.out_edge_ids(prev_nodes)
+            counts = ckg.indptr[prev_nodes + 1] - ckg.indptr[prev_nodes]
+            src_pos = np.repeat(np.arange(prev_nodes.size, dtype=np.int64), counts)
+            edge_slots = prev_slots[src_pos]
+            relations = ckg.relations[edge_ids]
+            heads = ckg.heads[edge_ids]
+            tails = ckg.tails[edge_ids]
 
-        if layer_k is not None and src_pos.size:
-            if sampler == "ppr":
-                scores = ppr_scores[edge_slots, tails]
-            else:
-                scores = rng.random(src_pos.size)
-            keep = _top_k_per_group(src_pos, scores, layer_k)
-            src_pos = src_pos[keep]
-            edge_slots = edge_slots[keep]
-            relations = relations[keep]
-            heads = heads[keep]
-            tails = tails[keep]
+            if layer_k is not None and src_pos.size:
+                with telemetry.span("ppr.prune"):
+                    expanded = src_pos.size
+                    if sampler == "ppr":
+                        scores = ppr_scores[edge_slots, tails]
+                    else:
+                        scores = rng.random(src_pos.size)
+                    keep = _top_k_per_group(src_pos, scores, layer_k)
+                    src_pos = src_pos[keep]
+                    edge_slots = edge_slots[keep]
+                    relations = relations[keep]
+                    heads = heads[keep]
+                    tails = tails[keep]
+                telemetry.counter("ppr.edges_kept", keep.size)
+                telemetry.counter("ppr.edges_pruned", expanded - keep.size)
 
-        # Destination node table: unique (slot, tail) pairs, sorted by key
-        # so rows_at can binary-search.
-        keys = edge_slots * np.int64(ckg.num_nodes) + tails
-        unique_keys, dst_pos = np.unique(keys, return_inverse=True)
-        graph.slots.append((unique_keys // ckg.num_nodes).astype(np.int64))
-        graph.nodes.append((unique_keys % ckg.num_nodes).astype(np.int64))
-        graph.layers.append(LayerEdges(
-            src_pos=src_pos, relations=relations, dst_pos=dst_pos,
-            heads=heads, tails=tails,
-        ))
+            # Destination node table: unique (slot, tail) pairs, sorted by key
+            # so rows_at can binary-search.
+            keys = edge_slots * np.int64(ckg.num_nodes) + tails
+            unique_keys, dst_pos = np.unique(keys, return_inverse=True)
+            graph.slots.append((unique_keys // ckg.num_nodes).astype(np.int64))
+            graph.nodes.append((unique_keys % ckg.num_nodes).astype(np.int64))
+            graph.layers.append(LayerEdges(
+                src_pos=src_pos, relations=relations, dst_pos=dst_pos,
+                heads=heads, tails=tails,
+            ))
 
+    record_graph_instruments(graph)
     return graph
+
+
+def record_graph_instruments(graph: ComputationGraph) -> None:
+    """Emit per-layer node/edge size instruments for ``graph``.
+
+    Every profiled run gets ``graph.nodes_per_layer.l{i}`` /
+    ``graph.edges_per_layer.l{i}`` histograms (one observation per built
+    graph), so pruning effectiveness is visible without calling
+    :func:`repro.analysis.computation_graph_stats` explicitly.  No-op
+    when telemetry is disabled.
+    """
+    if not telemetry.is_enabled():
+        return
+    telemetry.counter("graph.builds")
+    telemetry.counter("graph.edges", graph.total_edges())
+    for level in range(graph.depth + 1):
+        telemetry.histogram(f"graph.nodes_per_layer.l{level}",
+                            graph.layer_size(level))
+    for level, layer in enumerate(graph.layers, start=1):
+        telemetry.histogram(f"graph.edges_per_layer.l{level}",
+                            layer.num_edges)
 
 
 def _top_k_per_group(groups: np.ndarray, scores: np.ndarray, k: int) -> np.ndarray:

@@ -1,0 +1,31 @@
+"""Observability layer: spans, counters, run manifests, sinks.
+
+Zero-dependency instrumentation for the training/inference pipeline.
+Off by default; enable process-wide with :func:`enable` or locally with
+the :func:`enabled` context manager::
+
+    from repro import telemetry as tm
+
+    with tm.enabled():
+        model.fit(split)
+    print(tm.summary_table())
+    tm.write_jsonl("run.jsonl", manifest=tm.RunManifest(run="demo"))
+
+See ``docs/observability.md`` for the span taxonomy (``train.*``,
+``ppr.*``, ``graph.*``, ``autodiff.*``, ``eval.*``) and the JSONL record
+schema.
+"""
+
+from .manifest import RunManifest
+from .sinks import read_jsonl, split_records, summary_table, write_jsonl
+from .tracer import (MetricsRegistry, Span, counter, disable, enable,
+                     enabled, gauge, get_registry, histogram, is_enabled,
+                     reset, span)
+
+__all__ = [
+    "Span", "MetricsRegistry", "RunManifest",
+    "span", "counter", "gauge", "histogram",
+    "enable", "disable", "is_enabled", "enabled",
+    "get_registry", "reset",
+    "summary_table", "write_jsonl", "read_jsonl", "split_records",
+]

@@ -1,0 +1,91 @@
+"""Run manifests: stamp each training/eval run with its provenance.
+
+A :class:`RunManifest` records *what* produced a telemetry dump —
+configuration, seed, dataset shape, and headline metrics — so a JSONL
+export is self-describing: a benchmark reading it months later can tell
+which run it came from without consulting logs.  It is the first record
+of a :func:`~repro.telemetry.sinks.write_jsonl` dump.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional
+
+__all__ = ["RunManifest"]
+
+
+def _jsonable(value: Any) -> Any:
+    """Best-effort conversion to JSON-serializable plain data."""
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        value = dataclasses.asdict(value)
+    if isinstance(value, dict):
+        return {str(key): _jsonable(item) for key, item in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_jsonable(item) for item in value]
+    if hasattr(value, "item") and not isinstance(value, (str, bytes)):
+        try:
+            return value.item()          # numpy scalars
+        except (TypeError, ValueError):
+            pass
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    return str(value)
+
+
+@dataclass
+class RunManifest:
+    """Provenance record for one instrumented run.
+
+    Attributes
+    ----------
+    run:
+        Free-form run identifier (e.g. ``"profile:lastfm_like"``).
+    seed:
+        The run's random seed.
+    config:
+        Hyper-parameters — dataclass configs are accepted and converted.
+    dataset:
+        Dataset shape, typically ``Dataset.statistics()`` (users, items,
+        interactions, entities, relations, triplets).
+    metrics:
+        Headline results (e.g. ``{"recall@20": ..., "ndcg@20": ...}``).
+    created_unix:
+        Wall-clock creation time (seconds since the epoch).
+    """
+
+    run: str
+    seed: int = 0
+    config: Dict[str, Any] = field(default_factory=dict)
+    dataset: Dict[str, Any] = field(default_factory=dict)
+    metrics: Dict[str, Any] = field(default_factory=dict)
+    created_unix: float = field(default_factory=time.time)
+
+    def to_record(self) -> Dict[str, Any]:
+        """The manifest as a JSONL record (``"record": "manifest"``)."""
+        return {
+            "record": "manifest",
+            "run": self.run,
+            "seed": int(self.seed),
+            "config": _jsonable(self.config),
+            "dataset": _jsonable(self.dataset),
+            "metrics": _jsonable(self.metrics),
+            "created_unix": float(self.created_unix),
+        }
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_record(), sort_keys=True)
+
+    @classmethod
+    def from_record(cls, record: Dict[str, Any]) -> "RunManifest":
+        """Rebuild a manifest from a parsed JSONL record."""
+        if record.get("record") != "manifest":
+            raise ValueError("not a manifest record")
+        return cls(run=str(record["run"]), seed=int(record.get("seed", 0)),
+                   config=dict(record.get("config", {})),
+                   dataset=dict(record.get("dataset", {})),
+                   metrics=dict(record.get("metrics", {})),
+                   created_unix=float(record.get("created_unix", 0.0)))

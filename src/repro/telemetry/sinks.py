@@ -1,0 +1,126 @@
+"""Telemetry sinks: human-readable summary tables and JSONL export.
+
+Two consumers are served:
+
+* a person at a terminal — :func:`summary_table` renders the registry as
+  aligned text sections (spans / counters / gauges / histograms);
+* a benchmark script — :func:`write_jsonl` dumps one JSON object per
+  line (optionally preceded by a :class:`~repro.telemetry.manifest.RunManifest`
+  record) that downstream tooling can parse with :func:`read_jsonl` and
+  diff against the ``BENCH_*.json`` baselines.
+
+Every record carries a ``"record"`` discriminator: ``manifest``,
+``span``, ``counter``, ``gauge``, or ``histogram``.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List, Optional
+
+from .manifest import RunManifest
+from .tracer import MetricsRegistry, get_registry
+
+__all__ = ["summary_table", "write_jsonl", "read_jsonl", "split_records"]
+
+
+def _format_table(header: List[str], rows: List[List[str]]) -> List[str]:
+    widths = [max(len(header[col]), *(len(row[col]) for row in rows))
+              for col in range(len(header))]
+    lines = ["  ".join(cell.ljust(width) if col == 0 else cell.rjust(width)
+                       for col, (cell, width) in enumerate(zip(row, widths)))
+             for row in [header] + rows]
+    lines.insert(1, "  ".join("-" * width for width in widths))
+    return lines
+
+
+def summary_table(registry: Optional[MetricsRegistry] = None) -> str:
+    """Render the registry as an aligned, sectioned text table."""
+    registry = registry or get_registry()
+    snap = registry.snapshot()
+    lines: List[str] = []
+
+    spans = snap["spans"]
+    if spans:
+        rows = [[name, str(rec["count"]),
+                 f"{rec['total_seconds']:.4f}",
+                 f"{rec['exclusive_seconds']:.4f}",
+                 f"{1e3 * rec['total_seconds'] / max(rec['count'], 1):.2f}"]
+                for name, rec in sorted(spans.items())]
+        lines.append("spans")
+        lines += _format_table(
+            ["name", "count", "total(s)", "excl(s)", "mean(ms)"], rows)
+
+    counters = snap["counters"]
+    if counters:
+        rows = [[name, f"{rec['total']:g}", str(rec["updates"])]
+                for name, rec in sorted(counters.items())]
+        lines.append("" if not lines else "")
+        lines.append("counters")
+        lines += _format_table(["name", "total", "updates"], rows)
+
+    gauges = snap["gauges"]
+    if gauges:
+        rows = [[name, f"{rec['value']:g}", str(rec["updates"])]
+                for name, rec in sorted(gauges.items())]
+        lines.append("")
+        lines.append("gauges")
+        lines += _format_table(["name", "value", "updates"], rows)
+
+    histograms = snap["histograms"]
+    if histograms:
+        rows = [[name, str(rec["count"]), f"{rec['mean']:g}",
+                 f"{rec['min']:g}", f"{rec['p50']:g}", f"{rec['p95']:g}",
+                 f"{rec['max']:g}"]
+                for name, rec in sorted(histograms.items())]
+        lines.append("")
+        lines.append("histograms")
+        lines += _format_table(
+            ["name", "count", "mean", "min", "p50", "p95", "max"], rows)
+
+    if not lines:
+        return "(no telemetry recorded)"
+    return "\n".join(lines)
+
+
+def write_jsonl(path: str, registry: Optional[MetricsRegistry] = None,
+                manifest: Optional[RunManifest] = None) -> int:
+    """Write the registry (and optional manifest) as JSONL; returns #lines.
+
+    The manifest record, when given, is the first line; instrument
+    records follow sorted by section and name, one JSON object per line.
+    """
+    registry = registry or get_registry()
+    records: List[Dict[str, object]] = []
+    if manifest is not None:
+        records.append(manifest.to_record())
+    records.extend(registry.records())
+    with open(path, "w", encoding="utf-8") as handle:
+        for record in records:
+            handle.write(json.dumps(record, sort_keys=True) + "\n")
+    return len(records)
+
+
+def read_jsonl(path: str) -> List[Dict[str, object]]:
+    """Parse a JSONL telemetry dump back into a list of record dicts."""
+    records: List[Dict[str, object]] = []
+    with open(path, "r", encoding="utf-8") as handle:
+        for line in handle:
+            line = line.strip()
+            if line:
+                records.append(json.loads(line))
+    return records
+
+
+def split_records(records: List[Dict[str, object]]):
+    """Split parsed records into ``(manifest_or_None, {section: {name: rec}})``."""
+    manifest: Optional[Dict[str, object]] = None
+    sections: Dict[str, Dict[str, Dict[str, object]]] = {
+        "span": {}, "counter": {}, "gauge": {}, "histogram": {}}
+    for record in records:
+        kind = record.get("record")
+        if kind == "manifest":
+            manifest = record
+        elif kind in sections:
+            sections[kind][str(record["name"])] = record
+    return manifest, sections

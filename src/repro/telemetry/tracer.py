@@ -1,0 +1,362 @@
+"""Zero-dependency tracer: spans, counters, gauges, histograms.
+
+The paper's central claims are *efficiency* claims — PPR top-K pruning
+and the user-centric merge exist to bound computation-graph growth
+(Eq. 12, Tables VI-VIII) — so the pipeline needs first-class phase
+accounting rather than scattered ``time.perf_counter()`` pairs.  This
+module provides it:
+
+* :func:`span` — a nestable context manager measuring wall time with an
+  inclusive/exclusive split (exclusive = own time minus time spent in
+  child spans) and call counts;
+* :func:`counter` / :func:`gauge` / :func:`histogram` — scalar
+  instruments for quantities like PPR edges kept vs. pruned,
+  power-iteration sweeps, computation-graph sizes per layer, autodiff
+  tape length, and peak tape bytes;
+* :class:`MetricsRegistry` — the thread-safe in-memory sink everything
+  records into.
+
+Telemetry is **off by default**.  Disabled spans still measure their own
+wall time (so callers can read ``span.elapsed`` for derived statistics
+like :class:`~repro.core.trainer.EpochStats`) but touch neither the
+span stack nor the registry; disabled counters return after a single
+flag check.  The overhead budget when disabled is <2% on the
+``bench_engine_ops.py`` microbenchmarks.
+
+Span names follow a dotted taxonomy (see ``docs/observability.md``):
+``train.*``, ``ppr.*``, ``graph.*``, ``autodiff.*``, ``eval.*``.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import math
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional
+
+__all__ = [
+    "Span", "SpanStats", "CounterStats", "GaugeStats", "HistogramStats",
+    "MetricsRegistry", "span", "counter", "gauge", "histogram",
+    "enable", "disable", "is_enabled", "enabled", "get_registry", "reset",
+]
+
+#: cap on raw values kept per histogram (count/sum/min/max stay exact)
+HISTOGRAM_SAMPLE_CAP = 10_000
+
+
+# ----------------------------------------------------------------------
+# Aggregate statistics (what the registry stores per instrument name)
+# ----------------------------------------------------------------------
+
+@dataclass
+class SpanStats:
+    """Aggregated timings of one span name."""
+
+    name: str
+    count: int = 0
+    total_seconds: float = 0.0       # inclusive: own time + children
+    exclusive_seconds: float = 0.0   # inclusive minus child-span time
+    min_seconds: float = math.inf
+    max_seconds: float = 0.0
+
+    def observe(self, inclusive: float, exclusive: float) -> None:
+        self.count += 1
+        self.total_seconds += inclusive
+        self.exclusive_seconds += exclusive
+        self.min_seconds = min(self.min_seconds, inclusive)
+        self.max_seconds = max(self.max_seconds, inclusive)
+
+    def to_record(self) -> Dict[str, object]:
+        return {
+            "record": "span", "name": self.name, "count": self.count,
+            "total_seconds": self.total_seconds,
+            "exclusive_seconds": self.exclusive_seconds,
+            "min_seconds": self.min_seconds if self.count else 0.0,
+            "max_seconds": self.max_seconds,
+        }
+
+
+@dataclass
+class CounterStats:
+    """Monotonically accumulating total (e.g. edges pruned)."""
+
+    name: str
+    total: float = 0.0
+    updates: int = 0
+
+    def add(self, value: float) -> None:
+        self.total += value
+        self.updates += 1
+
+    def to_record(self) -> Dict[str, object]:
+        return {"record": "counter", "name": self.name,
+                "total": self.total, "updates": self.updates}
+
+
+@dataclass
+class GaugeStats:
+    """Last-written value (e.g. final PPR residual)."""
+
+    name: str
+    value: float = 0.0
+    updates: int = 0
+
+    def set(self, value: float) -> None:
+        self.value = value
+        self.updates += 1
+
+    def to_record(self) -> Dict[str, object]:
+        return {"record": "gauge", "name": self.name,
+                "value": self.value, "updates": self.updates}
+
+
+@dataclass
+class HistogramStats:
+    """Distribution summary of observed values.
+
+    Keeps exact count/sum/min/max plus a sample of the first
+    :data:`HISTOGRAM_SAMPLE_CAP` raw values for percentile estimates.
+    """
+
+    name: str
+    count: int = 0
+    total: float = 0.0
+    minimum: float = math.inf
+    maximum: float = -math.inf
+    values: List[float] = field(default_factory=list)
+
+    def observe(self, value: float) -> None:
+        self.count += 1
+        self.total += value
+        self.minimum = min(self.minimum, value)
+        self.maximum = max(self.maximum, value)
+        if len(self.values) < HISTOGRAM_SAMPLE_CAP:
+            self.values.append(value)
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def percentile(self, q: float) -> float:
+        """Nearest-rank percentile over the retained sample."""
+        if not self.values:
+            return 0.0
+        ordered = sorted(self.values)
+        rank = min(len(ordered) - 1, max(0, math.ceil(q / 100.0 * len(ordered)) - 1))
+        return ordered[rank]
+
+    def to_record(self) -> Dict[str, object]:
+        return {
+            "record": "histogram", "name": self.name, "count": self.count,
+            "total": self.total, "mean": self.mean,
+            "min": self.minimum if self.count else 0.0,
+            "max": self.maximum if self.count else 0.0,
+            "p50": self.percentile(50), "p95": self.percentile(95),
+        }
+
+
+# ----------------------------------------------------------------------
+# Registry
+# ----------------------------------------------------------------------
+
+class MetricsRegistry:
+    """Thread-safe in-memory store of every instrument's aggregate."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self.spans: Dict[str, SpanStats] = {}
+        self.counters: Dict[str, CounterStats] = {}
+        self.gauges: Dict[str, GaugeStats] = {}
+        self.histograms: Dict[str, HistogramStats] = {}
+
+    # -- writers -------------------------------------------------------
+    def record_span(self, name: str, inclusive: float, exclusive: float) -> None:
+        with self._lock:
+            stats = self.spans.get(name)
+            if stats is None:
+                stats = self.spans[name] = SpanStats(name)
+            stats.observe(inclusive, exclusive)
+
+    def add(self, name: str, value: float = 1.0) -> None:
+        with self._lock:
+            stats = self.counters.get(name)
+            if stats is None:
+                stats = self.counters[name] = CounterStats(name)
+            stats.add(value)
+
+    def set_gauge(self, name: str, value: float) -> None:
+        with self._lock:
+            stats = self.gauges.get(name)
+            if stats is None:
+                stats = self.gauges[name] = GaugeStats(name)
+            stats.set(value)
+
+    def observe(self, name: str, value: float) -> None:
+        with self._lock:
+            stats = self.histograms.get(name)
+            if stats is None:
+                stats = self.histograms[name] = HistogramStats(name)
+            stats.observe(value)
+
+    # -- readers -------------------------------------------------------
+    def snapshot(self) -> Dict[str, Dict[str, Dict[str, object]]]:
+        """Plain-dict copy of every aggregate (JSON-serializable)."""
+        with self._lock:
+            return {
+                "spans": {n: s.to_record() for n, s in self.spans.items()},
+                "counters": {n: c.to_record() for n, c in self.counters.items()},
+                "gauges": {n: g.to_record() for n, g in self.gauges.items()},
+                "histograms": {n: h.to_record()
+                               for n, h in self.histograms.items()},
+            }
+
+    def records(self) -> List[Dict[str, object]]:
+        """Flat list of per-instrument records (the JSONL payload)."""
+        snap = self.snapshot()
+        out: List[Dict[str, object]] = []
+        for section in ("spans", "counters", "gauges", "histograms"):
+            out.extend(snap[section][name] for name in sorted(snap[section]))
+        return out
+
+    def is_empty(self) -> bool:
+        with self._lock:
+            return not (self.spans or self.counters or self.gauges
+                        or self.histograms)
+
+    def reset(self) -> None:
+        with self._lock:
+            self.spans.clear()
+            self.counters.clear()
+            self.gauges.clear()
+            self.histograms.clear()
+
+
+# ----------------------------------------------------------------------
+# Global state: enable flag, default registry, per-thread span stack
+# ----------------------------------------------------------------------
+
+class _State:
+    """Module-level switch; hot paths read ``STATE.enabled`` directly."""
+
+    __slots__ = ("enabled",)
+
+    def __init__(self) -> None:
+        self.enabled = False
+
+
+STATE = _State()
+_REGISTRY = MetricsRegistry()
+_LOCAL = threading.local()
+
+
+def _stack() -> List["Span"]:
+    stack = getattr(_LOCAL, "stack", None)
+    if stack is None:
+        stack = _LOCAL.stack = []
+    return stack
+
+
+def enable() -> None:
+    """Turn telemetry recording on (process-wide)."""
+    STATE.enabled = True
+
+
+def disable() -> None:
+    """Turn telemetry recording off (the default)."""
+    STATE.enabled = False
+
+
+def is_enabled() -> bool:
+    return STATE.enabled
+
+
+@contextlib.contextmanager
+def enabled(flag: bool = True) -> Iterator[None]:
+    """Temporarily enable (or disable) telemetry within a ``with`` block."""
+    previous = STATE.enabled
+    STATE.enabled = flag
+    try:
+        yield
+    finally:
+        STATE.enabled = previous
+
+
+def get_registry() -> MetricsRegistry:
+    """The process-wide default registry all instruments record into."""
+    return _REGISTRY
+
+
+def reset() -> None:
+    """Clear every aggregate in the default registry."""
+    _REGISTRY.reset()
+
+
+# ----------------------------------------------------------------------
+# Instruments
+# ----------------------------------------------------------------------
+
+class Span:
+    """Context manager timing one region of code.
+
+    ``elapsed`` (inclusive wall seconds) is always populated on exit,
+    even with telemetry disabled, so callers can derive their own
+    statistics from it; the registry and the parent/child exclusive-time
+    bookkeeping are only touched when telemetry is enabled.
+    """
+
+    __slots__ = ("name", "elapsed", "_started", "_recording", "_child_seconds")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.elapsed = 0.0
+        self._started = 0.0
+        self._child_seconds = 0.0
+        self._recording = False
+
+    def __enter__(self) -> "Span":
+        self._recording = STATE.enabled
+        if self._recording:
+            _stack().append(self)
+        self._started = time.perf_counter()
+        return self
+
+    def __exit__(self, exc_type, exc_value, traceback) -> None:
+        self.elapsed = time.perf_counter() - self._started
+        if not self._recording:
+            return
+        stack = _stack()
+        # Tolerate mismatched exits (e.g. a generator-held span closed
+        # from another frame): pop back to this span if it is on the stack.
+        if self in stack:
+            while stack and stack[-1] is not self:
+                stack.pop()
+            stack.pop()
+        exclusive = max(0.0, self.elapsed - self._child_seconds)
+        _REGISTRY.record_span(self.name, self.elapsed, exclusive)
+        if stack:
+            stack[-1]._child_seconds += self.elapsed
+
+
+def span(name: str) -> Span:
+    """Open a named span: ``with span("train.epoch") as sp: ...``."""
+    return Span(name)
+
+
+def counter(name: str, value: float = 1.0) -> None:
+    """Add ``value`` to the named counter (no-op when disabled)."""
+    if STATE.enabled:
+        _REGISTRY.add(name, value)
+
+
+def gauge(name: str, value: float) -> None:
+    """Set the named gauge to ``value`` (no-op when disabled)."""
+    if STATE.enabled:
+        _REGISTRY.set_gauge(name, float(value))
+
+
+def histogram(name: str, value: float) -> None:
+    """Record one observation into the named histogram (no-op when disabled)."""
+    if STATE.enabled:
+        _REGISTRY.observe(name, float(value))

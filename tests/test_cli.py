@@ -26,6 +26,23 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args([])
 
+    def test_unknown_subcommand_usage_and_nonzero_exit(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["frobnicate"])
+        assert excinfo.value.code != 0
+        assert "usage:" in capsys.readouterr().err
+
+    def test_profile_command_args(self):
+        args = build_parser().parse_args(
+            ["profile", "--sink", "jsonl", "--out", "/tmp/x.jsonl"])
+        assert args.command == "profile"
+        assert args.sink == "jsonl"
+        assert args.out == "/tmp/x.jsonl"
+
+    def test_profile_invalid_sink_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["profile", "--sink", "xml"])
+
 
 class TestMain:
     def test_list_prints_experiments(self, capsys):

@@ -19,6 +19,7 @@ EXAMPLES = [
     "interpretability",
     "compare_baselines",
     "kg_link_prediction",
+    "profiling",
 ]
 
 

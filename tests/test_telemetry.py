@@ -1,0 +1,381 @@
+"""Tests for the observability layer (``repro.telemetry``).
+
+Covers the tracer itself (nested-span exclusive-time accounting,
+counter/histogram aggregation, thread safety, disabled-mode no-ops),
+the JSONL sink round-trip, the run manifest, and the integration with
+the training pipeline and the ``repro profile`` CLI subcommand.
+"""
+
+import json
+import threading
+import time
+
+import numpy as np
+import pytest
+
+from repro import telemetry as tm
+from repro.telemetry.tracer import HISTOGRAM_SAMPLE_CAP
+
+
+@pytest.fixture(autouse=True)
+def clean_registry():
+    """Every test starts disabled with an empty registry."""
+    tm.disable()
+    tm.reset()
+    yield
+    tm.disable()
+    tm.reset()
+
+
+class TestSpans:
+    def test_span_records_count_and_time(self):
+        with tm.enabled():
+            for _ in range(3):
+                with tm.span("t.unit"):
+                    time.sleep(0.002)
+        stats = tm.get_registry().spans["t.unit"]
+        assert stats.count == 3
+        assert stats.total_seconds >= 3 * 0.002
+        assert stats.min_seconds <= stats.max_seconds
+        assert stats.max_seconds <= stats.total_seconds
+
+    def test_nested_spans_exclusive_accounting(self):
+        with tm.enabled():
+            with tm.span("outer"):
+                time.sleep(0.01)
+                with tm.span("inner"):
+                    time.sleep(0.02)
+        outer = tm.get_registry().spans["outer"]
+        inner = tm.get_registry().spans["inner"]
+        # Inclusive: outer covers inner; exclusive: outer excludes it.
+        assert outer.total_seconds >= inner.total_seconds
+        assert outer.exclusive_seconds == pytest.approx(
+            outer.total_seconds - inner.total_seconds, abs=1e-6)
+        assert inner.exclusive_seconds == pytest.approx(
+            inner.total_seconds, abs=1e-9)
+        assert outer.exclusive_seconds < outer.total_seconds
+
+    def test_three_level_nesting(self):
+        with tm.enabled():
+            with tm.span("a"):
+                with tm.span("b"):
+                    with tm.span("c"):
+                        time.sleep(0.005)
+        spans = tm.get_registry().spans
+        assert spans["a"].total_seconds >= spans["b"].total_seconds
+        assert spans["b"].total_seconds >= spans["c"].total_seconds
+        # b's exclusive time excludes c, but b's inclusive feeds into a.
+        assert spans["b"].exclusive_seconds == pytest.approx(
+            spans["b"].total_seconds - spans["c"].total_seconds, abs=1e-6)
+
+    def test_siblings_both_subtracted_from_parent(self):
+        with tm.enabled():
+            with tm.span("parent"):
+                with tm.span("child"):
+                    time.sleep(0.004)
+                with tm.span("child"):
+                    time.sleep(0.004)
+        parent = tm.get_registry().spans["parent"]
+        child = tm.get_registry().spans["child"]
+        assert child.count == 2
+        assert parent.exclusive_seconds == pytest.approx(
+            parent.total_seconds - child.total_seconds, abs=1e-6)
+
+    def test_span_elapsed_available_when_disabled(self):
+        with tm.span("ignored") as sp:
+            time.sleep(0.003)
+        assert sp.elapsed >= 0.003
+        assert tm.get_registry().is_empty()
+
+    def test_span_survives_exception(self):
+        with tm.enabled():
+            with pytest.raises(RuntimeError):
+                with tm.span("boom"):
+                    raise RuntimeError("x")
+        assert tm.get_registry().spans["boom"].count == 1
+
+
+class TestInstruments:
+    def test_counter_accumulates(self):
+        with tm.enabled():
+            tm.counter("edges", 5)
+            tm.counter("edges", 7)
+            tm.counter("edges")
+        stats = tm.get_registry().counters["edges"]
+        assert stats.total == 13
+        assert stats.updates == 3
+
+    def test_gauge_keeps_last_value(self):
+        with tm.enabled():
+            tm.gauge("residual", 0.5)
+            tm.gauge("residual", 0.125)
+        stats = tm.get_registry().gauges["residual"]
+        assert stats.value == 0.125
+        assert stats.updates == 2
+
+    def test_histogram_aggregation(self):
+        with tm.enabled():
+            for value in [1.0, 2.0, 3.0, 4.0]:
+                tm.histogram("sizes", value)
+        stats = tm.get_registry().histograms["sizes"]
+        assert stats.count == 4
+        assert stats.total == 10.0
+        assert stats.mean == 2.5
+        assert stats.minimum == 1.0
+        assert stats.maximum == 4.0
+        assert stats.percentile(50) == 2.0
+        assert stats.percentile(100) == 4.0
+
+    def test_histogram_sample_cap_keeps_exact_totals(self):
+        with tm.enabled():
+            for value in range(HISTOGRAM_SAMPLE_CAP + 50):
+                tm.histogram("big", float(value))
+        stats = tm.get_registry().histograms["big"]
+        assert stats.count == HISTOGRAM_SAMPLE_CAP + 50
+        assert len(stats.values) == HISTOGRAM_SAMPLE_CAP
+        assert stats.maximum == float(HISTOGRAM_SAMPLE_CAP + 49)
+
+
+class TestDisabledMode:
+    def test_disabled_instruments_are_noops(self):
+        assert not tm.is_enabled()
+        with tm.span("s"):
+            pass
+        tm.counter("c", 3)
+        tm.gauge("g", 1.0)
+        tm.histogram("h", 2.0)
+        registry = tm.get_registry()
+        assert registry.is_empty()
+        assert registry.snapshot() == {"spans": {}, "counters": {},
+                                       "gauges": {}, "histograms": {}}
+
+    def test_pipeline_records_nothing_when_disabled(self):
+        from repro.core import KUCNetConfig, KUCNetRecommender, TrainConfig
+        from repro.data import lastfm_like, traditional_split
+
+        dataset = lastfm_like(seed=0, scale=0.1)
+        split = traditional_split(dataset, seed=0)
+        model = KUCNetRecommender(
+            KUCNetConfig(dim=8, depth=2, seed=0),
+            TrainConfig(epochs=1, batch_users=16, k=5, seed=0))
+        model.fit(split)
+        assert tm.get_registry().is_empty()
+        # Derived statistics still work without the registry.
+        assert model.ppr_seconds > 0
+        assert model.history[-1].cumulative_seconds > 0
+
+    def test_enabled_context_restores_previous_state(self):
+        assert not tm.is_enabled()
+        with tm.enabled():
+            assert tm.is_enabled()
+            with tm.enabled(False):
+                assert not tm.is_enabled()
+            assert tm.is_enabled()
+        assert not tm.is_enabled()
+
+
+class TestThreadSafety:
+    def test_concurrent_counters_and_spans(self):
+        workers = 8
+        increments = 500
+        barrier = threading.Barrier(workers)
+
+        def work():
+            barrier.wait()
+            for _ in range(increments):
+                tm.counter("shared", 1)
+                with tm.span("threaded"):
+                    pass
+
+        with tm.enabled():
+            threads = [threading.Thread(target=work) for _ in range(workers)]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+
+        registry = tm.get_registry()
+        assert registry.counters["shared"].total == workers * increments
+        assert registry.spans["threaded"].count == workers * increments
+
+    def test_span_stacks_are_per_thread(self):
+        errors = []
+
+        def work(name):
+            try:
+                for _ in range(200):
+                    with tm.span(f"outer.{name}"):
+                        with tm.span(f"inner.{name}"):
+                            pass
+            except Exception as exc:  # pragma: no cover
+                errors.append(exc)
+
+        with tm.enabled():
+            threads = [threading.Thread(target=work, args=(i,))
+                       for i in range(4)]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+        assert not errors
+        spans = tm.get_registry().spans
+        for i in range(4):
+            assert spans[f"outer.{i}"].count == 200
+            # inner time never leaks into a sibling thread's outer span
+            assert spans[f"outer.{i}"].exclusive_seconds <= \
+                spans[f"outer.{i}"].total_seconds + 1e-9
+
+
+class TestSinksAndManifest:
+    def test_jsonl_round_trip(self, tmp_path):
+        with tm.enabled():
+            with tm.span("train.epoch"):
+                time.sleep(0.001)
+            tm.counter("ppr.edges_kept", 42)
+            tm.gauge("ppr.residual", 1e-4)
+            tm.histogram("graph.nodes_per_layer.l1", 17)
+        manifest = tm.RunManifest(run="test", seed=7,
+                                  config={"dim": 8}, dataset={"users": 3},
+                                  metrics={"recall@20": 0.5})
+        path = str(tmp_path / "dump.jsonl")
+        lines = tm.write_jsonl(path, manifest=manifest)
+        assert lines == 5
+
+        records = tm.read_jsonl(path)
+        assert len(records) == 5
+        parsed, sections = tm.split_records(records)
+        assert parsed["run"] == "test"
+        assert parsed["seed"] == 7
+        assert parsed["metrics"]["recall@20"] == 0.5
+        assert sections["span"]["train.epoch"]["count"] == 1
+        assert sections["counter"]["ppr.edges_kept"]["total"] == 42
+        assert sections["gauge"]["ppr.residual"]["value"] == 1e-4
+        assert sections["histogram"]["graph.nodes_per_layer.l1"]["max"] == 17
+        rebuilt = tm.RunManifest.from_record(parsed)
+        assert rebuilt.seed == 7 and rebuilt.config == {"dim": 8}
+
+    def test_jsonl_is_valid_json_per_line(self, tmp_path):
+        with tm.enabled():
+            tm.counter("x", 1)
+        path = str(tmp_path / "dump.jsonl")
+        tm.write_jsonl(path)
+        with open(path) as handle:
+            for line in handle:
+                json.loads(line)
+
+    def test_manifest_converts_numpy_and_dataclasses(self):
+        from repro.core import KUCNetConfig
+
+        record = tm.RunManifest(
+            run="np", config=KUCNetConfig(),
+            metrics={"value": np.float64(0.25),
+                     "count": np.int64(3)}).to_record()
+        assert record["config"]["dim"] == 48
+        assert record["metrics"]["value"] == 0.25
+        assert isinstance(record["metrics"]["count"], int)
+        json.dumps(record)  # fully serializable
+
+    def test_summary_table_renders_all_sections(self):
+        with tm.enabled():
+            with tm.span("a.span"):
+                pass
+            tm.counter("a.counter", 2)
+            tm.gauge("a.gauge", 1.5)
+            tm.histogram("a.hist", 3.0)
+        text = tm.summary_table()
+        for token in ("spans", "counters", "gauges", "histograms",
+                      "a.span", "a.counter", "a.gauge", "a.hist"):
+            assert token in text
+
+    def test_summary_table_empty_registry(self):
+        assert tm.summary_table() == "(no telemetry recorded)"
+
+
+class TestPipelineIntegration:
+    def test_fit_and_evaluate_emit_expected_spans(self):
+        from repro.core import KUCNetConfig, KUCNetRecommender, TrainConfig
+        from repro.data import lastfm_like, traditional_split
+        from repro.eval import evaluate
+
+        dataset = lastfm_like(seed=0, scale=0.1)
+        split = traditional_split(dataset, seed=0)
+        with tm.enabled():
+            model = KUCNetRecommender(
+                KUCNetConfig(dim=8, depth=2, seed=0),
+                TrainConfig(epochs=1, batch_users=16, k=5, seed=0))
+            model.fit(split)
+            evaluate(model, split, max_users=8)
+
+        snap = tm.get_registry().snapshot()
+        for name in ("train.fit", "train.epoch", "train.batch",
+                     "ppr.precompute", "ppr.power_iteration", "ppr.prune",
+                     "graph.build", "autodiff.backward",
+                     "eval.score", "eval.rank"):
+            assert snap["spans"][name]["count"] > 0, name
+            assert snap["spans"][name]["total_seconds"] > 0, name
+        for name in ("ppr.edges_kept", "ppr.edges_pruned", "ppr.sweeps",
+                     "autodiff.gather_rows", "autodiff.segment_sum",
+                     "graph.builds", "train.pairs", "eval.users"):
+            assert snap["counters"][name]["total"] > 0, name
+        assert snap["histograms"]["autodiff.tape_nodes"]["count"] > 0
+        assert snap["histograms"]["graph.nodes_per_layer.l1"]["count"] > 0
+        assert snap["histograms"]["graph.edges_per_layer.l2"]["count"] > 0
+        # epochs nest under fit: exclusive(fit) < inclusive(fit)
+        fit = snap["spans"]["train.fit"]
+        assert fit["exclusive_seconds"] < fit["total_seconds"]
+
+    def test_graph_stats_emits_instruments(self):
+        from repro.analysis import computation_graph_stats
+        from repro.data import lastfm_like, traditional_split
+        from repro.sampling import build_user_centric_graph
+
+        dataset = lastfm_like(seed=0, scale=0.1)
+        split = traditional_split(dataset, seed=0)
+        ckg = dataset.build_ckg(split.train)
+        graph = build_user_centric_graph(ckg, [0, 1], depth=2, k=None,
+                                         sampler="random",
+                                         rng=np.random.default_rng(0))
+        with tm.enabled():
+            stats = computation_graph_stats(graph)
+        snap = tm.get_registry().snapshot()
+        assert snap["histograms"]["graph.nodes_per_layer.l0"]["max"] == \
+            stats.nodes_per_layer[0]
+        assert snap["histograms"]["graph.edges_per_layer.l1"]["max"] == \
+            stats.edges_per_layer[0]
+        assert snap["counters"]["graph.edges"]["total"] == stats.total_edges
+
+
+class TestProfileCLI:
+    def test_profile_jsonl_manifest(self, tmp_path, capsys):
+        from repro.cli import main
+
+        out = str(tmp_path / "profile.jsonl")
+        assert main(["profile", "--scale", "0.1", "--epochs", "1",
+                     "--sink", "jsonl", "--out", out]) == 0
+        manifest, sections = tm.split_records(tm.read_jsonl(out))
+        assert manifest is not None
+        assert manifest["run"] == "profile:lastfm_like"
+        assert "recall@20" in manifest["metrics"]
+        assert manifest["dataset"]["users"] > 0
+        for name in ("train.epoch", "ppr.prune", "graph.build", "eval.rank"):
+            assert sections["span"][name]["count"] > 0, name
+
+    def test_profile_table_sink(self, capsys):
+        from repro.cli import main
+
+        assert main(["profile", "--scale", "0.1", "--epochs", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "train.epoch" in out
+        assert '"record": "manifest"' in out
+
+    def test_profile_jsonl_requires_out(self, capsys):
+        from repro.cli import main
+
+        assert main(["profile", "--sink", "jsonl"]) == 2
+        assert "--out" in capsys.readouterr().err
+
+    def test_profile_unknown_dataset(self, capsys):
+        from repro.cli import main
+
+        assert main(["profile", "--dataset", "nope"]) == 2
+        assert "unknown dataset" in capsys.readouterr().err

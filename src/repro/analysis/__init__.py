@@ -2,10 +2,11 @@
 
 from .charts import ascii_bar_chart, ascii_curve
 from .diagnostics import (computation_graph_stats, dataset_report,
-                          degree_histogram, reach_statistics)
+                          degree_histogram, ppr_storage_report,
+                          reach_statistics)
 
 __all__ = [
     "ascii_curve", "ascii_bar_chart",
     "degree_histogram", "computation_graph_stats", "reach_statistics",
-    "dataset_report",
+    "ppr_storage_report", "dataset_report",
 ]

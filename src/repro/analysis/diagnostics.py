@@ -16,6 +16,7 @@ import numpy as np
 
 from ..data import Dataset, Split
 from ..graph import CollaborativeKG
+from ..ppr import PPRScoreLike, SparsePPRScores
 from ..sampling import (ComputationGraph, build_user_centric_graph,
                         record_graph_instruments)
 
@@ -63,12 +64,14 @@ def computation_graph_stats(graph: ComputationGraph) -> GraphStats:
 
 def reach_statistics(ckg: CollaborativeKG, users: Sequence[int], depth: int,
                      k: Optional[int] = None,
-                     ppr_scores: Optional[np.ndarray] = None) -> Dict[str, float]:
+                     ppr_scores: Optional[PPRScoreLike] = None) -> Dict[str, float]:
     """Fraction of items reachable at exactly ``depth`` hops per user.
 
     This is the recall ceiling of an L-layer KUCNet: unreached items
     score 0.  The Table VIII depth ablation is largely explained by how
-    this number moves with L on each dataset.
+    this number moves with L on each dataset.  ``ppr_scores`` accepts a
+    dense ``(len(users), num_nodes)`` matrix or a
+    :class:`~repro.ppr.SparsePPRScores` row subset, same as the pruner.
     """
     graph = build_user_centric_graph(
         ckg, list(users), depth=depth, k=k,
@@ -85,6 +88,32 @@ def reach_statistics(ckg: CollaborativeKG, users: Sequence[int], depth: int,
         "mean_item_reach": float(np.mean(fractions)),
         "min_item_reach": float(np.min(fractions)),
         "max_item_reach": float(np.max(fractions)),
+    }
+
+
+def ppr_storage_report(scores: PPRScoreLike) -> Dict[str, float]:
+    """Resident footprint of a PPR score structure, either backend.
+
+    ``score_bytes`` matches the ``ppr.score_bytes`` telemetry gauge;
+    ``fill`` is the stored fraction of the logical U x N matrix (1.0 for
+    the dense backend), the direct measure of what top-M storage saves.
+    """
+    if isinstance(scores, SparsePPRScores):
+        logical = scores.num_rows * scores.num_nodes
+        return {
+            "backend": "push",
+            "rows": scores.num_rows,
+            "score_bytes": float(scores.nbytes),
+            "stored_entries": float(scores.nnz),
+            "fill": scores.nnz / max(logical, 1),
+        }
+    scores = np.asarray(scores)
+    return {
+        "backend": "power",
+        "rows": scores.shape[0],
+        "score_bytes": float(scores.nbytes),
+        "stored_entries": float(scores.size),
+        "fill": 1.0,
     }
 
 

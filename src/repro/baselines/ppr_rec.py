@@ -4,6 +4,11 @@ Scores items directly by their Personalized PageRank mass from the
 user's node over the CKG.  No training; works on new items (they are KG
 nodes) and, when user-side KG links exist, on new users too.  Heuristic,
 so it trails the learned subgraph methods (Tables IV-V).
+
+Two solver backends are available (see ``docs/performance.md``): the
+dense power iteration of Eq. 13 (``method="power"``) and sparse forward
+push with top-M storage (``method="push"``), which keeps full-catalog
+scoring sublinear in graph size per user.
 """
 
 from __future__ import annotations
@@ -13,7 +18,7 @@ from typing import Optional, Sequence
 import numpy as np
 
 from ..data import Split
-from ..ppr import personalized_pagerank_batch
+from ..ppr import forward_push_batch, personalized_pagerank_batch
 from .base import Recommender
 
 
@@ -24,24 +29,43 @@ class PPRRecommender(Recommender):
     ----------
     alpha / iterations:
         Power-iteration parameters of Eq. (13).
+    method:
+        ``"power"`` (dense, default) or ``"push"`` (sparse forward push).
+    epsilon / top_m:
+        Forward-push residual threshold and per-user entry budget
+        (``method="push"`` only).  ``top_m`` should comfortably exceed
+        the item catalog a user can reach, or truncated items score 0.
     """
 
     name = "PPR"
 
-    def __init__(self, alpha: float = 0.15, iterations: int = 20):
+    def __init__(self, alpha: float = 0.15, iterations: int = 20,
+                 method: str = "power", epsilon: float = 1e-4,
+                 top_m: int = 1024):
+        if method not in ("power", "push"):
+            raise ValueError(f"unknown method {method!r}")
         self.alpha = alpha
         self.iterations = iterations
+        self.method = method
+        self.epsilon = epsilon
+        self.top_m = top_m
         self.ckg = None
         self._adjacency = None
 
     def fit(self, split: Split) -> "PPRRecommender":
         self.ckg = split.dataset.build_ckg(split.train)
-        self._adjacency = self.ckg.normalized_adjacency()
+        if self.method == "power":
+            self._adjacency = self.ckg.normalized_adjacency()
         return self
 
     def score_users(self, users: Sequence[int]) -> np.ndarray:
         if self.ckg is None:
             raise RuntimeError("fit() must be called first")
+        if self.method == "push":
+            scores = forward_push_batch(
+                self.ckg, list(users), alpha=self.alpha,
+                epsilon=self.epsilon, top_m=self.top_m)
+            return scores.dense_columns(self.ckg.item_nodes)
         result = personalized_pagerank_batch(
             self.ckg, list(users), alpha=self.alpha,
             iterations=self.iterations, adjacency=self._adjacency)

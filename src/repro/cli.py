@@ -56,6 +56,10 @@ def build_parser() -> argparse.ArgumentParser:
                          help="KUCNet layer count L")
     profile.add_argument("--k", type=int, default=10,
                          help="PPR top-K pruning budget")
+    profile.add_argument("--ppr-method", default="power",
+                         choices=["power", "push"],
+                         help="PPR solver: dense power iteration or sparse "
+                              "forward push (see docs/performance.md)")
     profile.add_argument("--sink", default="table",
                          choices=["table", "jsonl"],
                          help="output format: human-readable table or JSONL")
@@ -132,7 +136,8 @@ def _run_profile(args: argparse.Namespace) -> int:
     split = traditional_split(dataset, seed=args.seed)
     model_config = KUCNetConfig(dim=16, depth=args.depth, seed=args.seed)
     train_config = TrainConfig(epochs=args.epochs, batch_users=16,
-                               k=args.k, seed=args.seed)
+                               k=args.k, ppr_method=args.ppr_method,
+                               seed=args.seed)
 
     telemetry.reset()
     with telemetry.enabled():

@@ -28,7 +28,8 @@ from .. import telemetry
 from ..autodiff import Adam, bpr_loss
 from ..data import Split
 from ..graph import CollaborativeKG
-from ..ppr import personalized_pagerank_batch
+from ..ppr import (PPRScoreLike, forward_push_batch,
+                   personalized_pagerank_batch)
 from ..sampling import ComputationGraph, build_user_centric_graph
 from .model import KUCNet, KUCNetConfig, Propagation
 
@@ -50,6 +51,24 @@ class TrainConfig:
     sampler: str = "ppr"
     ppr_alpha: float = 0.15
     ppr_iterations: int = 20
+    #: PPR solver backend: ``"power"`` is the paper's dense Eq. 13
+    #: iteration (O(U x N) score storage); ``"push"`` is sparse
+    #: Andersen-Chung-Lang forward push with top-M storage (O(U x M),
+    #: sublinear compute per user) — see ``docs/performance.md``.
+    ppr_method: str = "power"
+    #: forward-push residual threshold (``ppr_method="push"`` only);
+    #: per-node score underestimation is at most ``epsilon * deg(node)``.
+    ppr_epsilon: float = 1e-4
+    #: retained score entries per user (``ppr_method="push"`` only)
+    ppr_top_m: int = 256
+    #: early-stop tolerance for the power iteration's max-norm update;
+    #: saved sweeps show up in the ``ppr.sweeps`` counter.  The default
+    #: is small enough to never fire within the paper's 20 iterations,
+    #: so it only trims configs that raise ``ppr_iterations``.
+    ppr_tolerance: float = 1e-9
+    #: users processed per preprocessing chunk (bounds peak temporary
+    #: memory for both backends)
+    ppr_chunk_users: int = 64
     #: rank pruned edges by ``r_u[v] / deg(v)`` instead of raw PPR mass.
     #: On the symmetrized CKG, walk reversibility makes the
     #: degree-normalized score proportional to the probability that a
@@ -95,7 +114,9 @@ class KUCNetRecommender:
         self.train_config = train_config or TrainConfig()
         self.model: Optional[KUCNet] = None
         self.ckg: Optional[CollaborativeKG] = None
-        self.ppr_scores: Optional[np.ndarray] = None  # (num_users, num_nodes)
+        #: dense ``(num_users, num_nodes)`` ndarray (``ppr_method="power"``)
+        #: or :class:`~repro.ppr.SparsePPRScores` (``"push"``)
+        self.ppr_scores: Optional[PPRScoreLike] = None
         self.history: List[EpochStats] = []
         self.ppr_seconds: float = 0.0
         self._graph_cache: Dict[Tuple[int, ...], ComputationGraph] = {}
@@ -106,20 +127,62 @@ class KUCNetRecommender:
         """Build the CKG and PPR scores without training (preprocessing)."""
         self.ckg = split.dataset.build_ckg(split.train)
         with telemetry.span("ppr.precompute") as ppr_span:
-            ppr = personalized_pagerank_batch(
-                self.ckg, list(range(self.ckg.num_users)),
-                alpha=self.train_config.ppr_alpha,
-                iterations=self.train_config.ppr_iterations,
-            )
+            self.ppr_scores = self._compute_ppr_scores()
         self.ppr_seconds = ppr_span.elapsed
-        self.ppr_scores = ppr.scores
         if self.train_config.ppr_degree_normalized:
             degrees = np.diff(self.ckg.indptr).astype(np.float64)
-            self.ppr_scores = self.ppr_scores / np.maximum(degrees, 1.0)[None, :]
+            if isinstance(self.ppr_scores, np.ndarray):
+                self.ppr_scores = self.ppr_scores / np.maximum(degrees, 1.0)[None, :]
+            else:
+                self.ppr_scores.normalize_by_degree(degrees)
         self.model = KUCNet(self.ckg.num_relations, self.model_config)
         self._graph_cache.clear()
         self._split = split
         self._train_item_pool = np.unique(split.train.items)
+        # Per-user sorted positives, cached once: the pair sampler draws
+        # from these every batch of every epoch.
+        self._user_positives = {
+            int(user): np.asarray(sorted(split.train.positives(user)),
+                                  dtype=np.int64)
+            for user in split.train.users_with_interactions()
+        }
+
+    def _compute_ppr_scores(self) -> PPRScoreLike:
+        """One-time PPR preprocessing (Table VI), in bounded-memory chunks.
+
+        ``ppr_method="power"`` runs the dense Eq. 13 iteration per user
+        chunk (peak temporary memory O(chunk x N) instead of O(U x N) on
+        top of the dense result); ``"push"`` runs sparse forward push,
+        whose output stays O(U x M).  Either way ``ppr.score_bytes``
+        records the resident score footprint.
+        """
+        config = self.train_config
+        if config.ppr_method not in ("power", "push"):
+            raise ValueError(f"unknown ppr_method {config.ppr_method!r}")
+        users = np.arange(self.ckg.num_users)
+        chunk = max(1, int(config.ppr_chunk_users))
+        if config.ppr_method == "push":
+            scores = forward_push_batch(
+                self.ckg, users, alpha=config.ppr_alpha,
+                epsilon=config.ppr_epsilon, top_m=config.ppr_top_m,
+                chunk_users=chunk)
+            return scores
+        adjacency = self.ckg.normalized_adjacency()
+        dense = np.empty((users.size, self.ckg.num_nodes))
+        for start in range(0, users.size, chunk):
+            part = personalized_pagerank_batch(
+                self.ckg, users[start:start + chunk],
+                alpha=config.ppr_alpha, iterations=config.ppr_iterations,
+                adjacency=adjacency, tolerance=config.ppr_tolerance)
+            dense[start:start + chunk] = part.scores
+        telemetry.gauge("ppr.score_bytes", dense.nbytes)
+        return dense
+
+    def _ppr_rows(self, users: Sequence[int]) -> PPRScoreLike:
+        """Score rows for ``users`` in input order, on either backend."""
+        if isinstance(self.ppr_scores, np.ndarray):
+            return self.ppr_scores[list(users)]
+        return self.ppr_scores.select(users)
 
     def fit(self, split: Split,
             callback: Optional[Callable[[EpochStats], None]] = None) -> "KUCNetRecommender":
@@ -201,27 +264,42 @@ class KUCNetRecommender:
         config = self.train_config
         if not hasattr(self, "_train_item_pool"):
             self._train_item_pool = np.unique(split.train.items)
+        if not hasattr(self, "_user_positives"):
+            self._user_positives = {}
         pool = self._train_item_pool
-        slots: List[int] = []
-        positives: List[int] = []
-        negatives: List[int] = []
+        slot_chunks: List[np.ndarray] = []
+        pos_chunks: List[np.ndarray] = []
+        neg_chunks: List[np.ndarray] = []
         for slot, user in enumerate(users):
-            user_positives = sorted(split.train.positives(user))
-            if not user_positives:
+            user_positives = self._user_positives.get(int(user))
+            if user_positives is None:
+                user_positives = np.asarray(sorted(split.train.positives(user)),
+                                            dtype=np.int64)
+                self._user_positives[int(user)] = user_positives
+            if user_positives.size == 0:
                 continue
-            for _ in range(config.pairs_per_user):
-                positive = int(self._rng.choice(user_positives))
-                negative = int(pool[self._rng.integers(pool.size)])
-                while split.train.has_interaction(user, negative):
-                    negative = int(pool[self._rng.integers(pool.size)])
-                slots.append(slot)
-                positives.append(positive)
-                negatives.append(negative)
-        slots_array = np.asarray(slots, dtype=np.int64)
-        pos_nodes = self.ckg.item_nodes[np.asarray(positives, dtype=np.int64)] \
-            if positives else np.empty(0, dtype=np.int64)
-        neg_nodes = self.ckg.item_nodes[np.asarray(negatives, dtype=np.int64)] \
-            if negatives else np.empty(0, dtype=np.int64)
+            chosen = self._rng.choice(user_positives,
+                                      size=config.pairs_per_user)
+            negatives = pool[self._rng.integers(pool.size,
+                                                size=config.pairs_per_user)]
+            # Rejection-resample the (few) negatives that hit one of the
+            # user's observed interactions; user_positives is sorted, so
+            # membership is a binary search.
+            collides = np.isin(negatives, user_positives)
+            while collides.any():
+                negatives[collides] = pool[self._rng.integers(
+                    pool.size, size=int(collides.sum()))]
+                collides = np.isin(negatives, user_positives)
+            slot_chunks.append(np.full(config.pairs_per_user, slot,
+                                       dtype=np.int64))
+            pos_chunks.append(chosen)
+            neg_chunks.append(negatives)
+        if not slot_chunks:
+            empty = np.empty(0, dtype=np.int64)
+            return empty, empty.copy(), empty.copy()
+        slots_array = np.concatenate(slot_chunks)
+        pos_nodes = self.ckg.item_nodes[np.concatenate(pos_chunks)]
+        neg_nodes = self.ckg.item_nodes[np.concatenate(neg_chunks)]
         return slots_array, pos_nodes, neg_nodes
 
     def _graph_for(self, users: Tuple[int, ...]) -> ComputationGraph:
@@ -238,7 +316,7 @@ class KUCNetRecommender:
         if cached is None:
             cached = build_user_centric_graph(
                 self.ckg, list(users), depth=self.model_config.depth,
-                ppr_scores=self.ppr_scores[list(users)],
+                ppr_scores=self._ppr_rows(users),
                 k=self.train_config.k, sampler="ppr")
             self._graph_cache[users] = cached
         return cached
@@ -265,7 +343,7 @@ class KUCNetRecommender:
             k = self.train_config.k
         graph = build_user_centric_graph(
             self.ckg, users, depth=self.model_config.depth,
-            ppr_scores=(self.ppr_scores[users]
+            ppr_scores=(self._ppr_rows(users)
                         if self.train_config.sampler == "ppr" and k
                         else None),
             k=k,
@@ -322,7 +400,7 @@ class KUCNetRecommender:
         k = self.train_config.k if mode == "pruned" else None
         graph = build_user_centric_graph(
             self.ckg, users, depth=self.model_config.depth,
-            ppr_scores=self.ppr_scores[users] if k is not None else None,
+            ppr_scores=self._ppr_rows(users) if k is not None else None,
             k=k, sampler="ppr" if k is not None else "ppr")
         return graph.total_edges()
 

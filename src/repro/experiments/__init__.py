@@ -9,9 +9,9 @@ from .methods import (KUCNET_DEPTH, KUCNET_K, TABLE3_METHODS, TABLE4_METHODS,
                       kucnet_settings, make_method)
 from .profiles import PROFILES, Profile, active_profile
 from .runners import (RECOMMENDATION_DATASETS, run_fig4, run_fig5, run_fig6,
-                      run_fig7, run_table2, run_table3, run_table4,
-                      run_table5, run_table6, run_table7, run_table8,
-                      run_table9)
+                      run_fig7, run_ppr_backends, run_table2, run_table3,
+                      run_table4, run_table5, run_table6, run_table7,
+                      run_table8, run_table9)
 from .tables import TableResult
 
 #: table/figure id -> runner
@@ -28,6 +28,7 @@ EXPERIMENTS = {
     "fig5": run_fig5,
     "fig6": run_fig6,
     "fig7": run_fig7,
+    "ppr_backends": run_ppr_backends,
 }
 
 __all__ = [
@@ -37,5 +38,5 @@ __all__ = [
     "RECOMMENDATION_DATASETS",
     "run_table2", "run_table3", "run_table4", "run_table5", "run_table6",
     "run_table7", "run_table8", "run_table9", "run_fig4", "run_fig5",
-    "run_fig6", "run_fig7",
+    "run_fig6", "run_fig7", "run_ppr_backends",
 ]

@@ -8,6 +8,7 @@ quick profile trains shorter.
 
 from __future__ import annotations
 
+import os
 from typing import Callable, Dict, List
 
 from ..baselines import (BASELINES, BaselineConfig, PathSim, PPRRecommender,
@@ -76,6 +77,10 @@ def kucnet_settings(dataset: str, setting: str, profile: Profile,
     use_attention = overrides.pop("use_attention", True)
     degree_normalized = overrides.pop("ppr_degree_normalized",
                                       KUCNET_PPR_NORM.get(dataset, True))
+    # PPR solver backend; REPRO_PPR_METHOD=push re-runs every table/figure
+    # bench on the sparse forward-push engine without touching call sites.
+    ppr_method = overrides.pop("ppr_method",
+                               os.environ.get("REPRO_PPR_METHOD", "power"))
     # deep graphs grow multiplicatively per layer; smaller user batches
     # keep the per-batch autodiff memory bounded
     batch_users = overrides.pop("batch_users", 12 if depth >= 5 else 24)
@@ -85,6 +90,7 @@ def kucnet_settings(dataset: str, setting: str, profile: Profile,
                         batch_users=batch_users,
                         learning_rate=learning_rate, sampler=sampler,
                         ppr_degree_normalized=degree_normalized,
+                        ppr_method=ppr_method,
                         seed=seed, **overrides)
     return KUCNetRecommender(model, train)
 

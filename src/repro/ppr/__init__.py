@@ -1,7 +1,16 @@
-"""Personalized PageRank over the collaborative KG (§IV-C2)."""
+"""Personalized PageRank over the collaborative KG (§IV-C2).
+
+Two solver backends share this namespace: the dense power iteration of
+:mod:`.pagerank` (the paper's literal Eq. 13) and the sparse forward
+push of :mod:`.push` (same scores, sublinear per user, top-M storage).
+"""
 
 from .pagerank import (PPRScores, personalized_pagerank,
                        personalized_pagerank_batch, top_k_items_by_ppr)
+from .push import (PPRScoreLike, SparsePPRScores, forward_push_batch,
+                   sparsify_scores)
 
 __all__ = ["personalized_pagerank", "personalized_pagerank_batch",
-           "PPRScores", "top_k_items_by_ppr"]
+           "PPRScores", "top_k_items_by_ppr",
+           "SparsePPRScores", "forward_push_batch", "sparsify_scores",
+           "PPRScoreLike"]

@@ -31,6 +31,7 @@ import numpy as np
 
 from .. import telemetry
 from ..graph import CollaborativeKG
+from ..ppr import PPRScoreLike, SparsePPRScores
 
 
 @dataclass
@@ -101,9 +102,13 @@ class ComputationGraph:
         being sorted by the composite key ``slot * num_ckg_nodes + node``,
         which the builders guarantee.
         """
-        keys = self.slots[layer].astype(np.int64) * self.num_ckg_nodes + self.nodes[layer]
         wanted = (np.asarray(slots, dtype=np.int64) * self.num_ckg_nodes
                   + np.asarray(nodes, dtype=np.int64))
+        keys = self.slots[layer].astype(np.int64) * self.num_ckg_nodes + self.nodes[layer]
+        if keys.size == 0:
+            # An empty node table (a frontier with no surviving out-edges)
+            # holds no pair; clip against size - 1 == -1 would wrap around.
+            return np.full(wanted.size, -1, dtype=np.int64)
         positions = np.searchsorted(keys, wanted)
         positions = np.clip(positions, 0, keys.size - 1)
         found = keys[positions] == wanted
@@ -114,7 +119,7 @@ def build_user_centric_graph(
     ckg: CollaborativeKG,
     users: Sequence[int],
     depth: int,
-    ppr_scores: Optional[np.ndarray] = None,
+    ppr_scores: Optional[PPRScoreLike] = None,
     k: Optional[Union[int, Sequence[Optional[int]]]] = None,
     sampler: str = "ppr",
     rng: Optional[np.random.Generator] = None,
@@ -130,8 +135,12 @@ def build_user_centric_graph(
     depth:
         Number of message-passing layers ``L``.
     ppr_scores:
-        ``(len(users), num_nodes)`` PPR score matrix (row per slot).
-        Required when ``sampler == "ppr"`` and ``k`` is set.
+        ``(len(users), num_nodes)`` dense PPR score matrix or a
+        :class:`~repro.ppr.SparsePPRScores` row subset (row per slot
+        either way).  Required when ``sampler == "ppr"`` and ``k`` is
+        set.  Entries missing from the sparse backend score 0.0, which
+        ranks them last — exactly the pruner's intent for nodes outside
+        a user's top-M mass.
     k:
         Per-head-node edge budget (Algorithm 1 line 4).  ``None`` disables
         pruning — that is the ``KUCNet-w.o.-PPR`` variant.  A sequence of
@@ -187,7 +196,10 @@ def build_user_centric_graph(
                 with telemetry.span("ppr.prune"):
                     expanded = src_pos.size
                     if sampler == "ppr":
-                        scores = ppr_scores[edge_slots, tails]
+                        if isinstance(ppr_scores, SparsePPRScores):
+                            scores = ppr_scores.lookup(edge_slots, tails)
+                        else:
+                            scores = ppr_scores[edge_slots, tails]
                     else:
                         scores = rng.random(src_pos.size)
                     keep = _top_k_per_group(src_pos, scores, layer_k)

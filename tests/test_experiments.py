@@ -103,7 +103,7 @@ class TestRunners:
     def test_registry_covers_all_tables_and_figures(self):
         expected = {"table2", "table3", "table4", "table5", "table6",
                     "table7", "table8", "table9", "fig4", "fig5", "fig6",
-                    "fig7"}
+                    "fig7", "ppr_backends"}
         assert set(EXPERIMENTS) == expected
 
     def test_run_table2_mini(self):

@@ -1,0 +1,243 @@
+"""Tests for the sparse forward-push PPR engine (repro/ppr/push.py).
+
+Covers the Andersen-Chung-Lang accuracy guarantee (small epsilon
+approaches the converged power iteration), the ``SparsePPRScores``
+CSR storage (lookup / select / densify / degree normalization), and
+end-to-end trainer equivalence between the two backends.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import KUCNetConfig, KUCNetRecommender, TrainConfig
+from repro.data import lastfm_like, traditional_split
+from repro.graph import CollaborativeKG, KnowledgeGraph, UserItemGraph
+from repro.ppr import (SparsePPRScores, forward_push_batch,
+                       personalized_pagerank_batch, sparsify_scores)
+
+
+@pytest.fixture
+def ckg():
+    ui = UserItemGraph(3, 4, [(0, 0), (0, 1), (1, 1), (1, 2), (2, 3)])
+    kg = KnowledgeGraph(6, 2, [(0, 0, 4), (1, 0, 4), (2, 1, 5), (3, 1, 5)])
+    return CollaborativeKG.build(ui, kg)
+
+
+def _random_ckg(seed: int) -> CollaborativeKG:
+    rng = np.random.default_rng(seed)
+    num_users = int(rng.integers(3, 7))
+    num_items = int(rng.integers(5, 10))
+    num_entities = num_items + int(rng.integers(3, 8))
+    interactions = {(u, int(rng.integers(num_items)))
+                    for u in range(num_users)
+                    for _ in range(int(rng.integers(1, 4)))}
+    triples = {(int(rng.integers(num_entities)), int(rng.integers(2)),
+                int(rng.integers(num_entities)))
+               for _ in range(int(rng.integers(5, 20)))}
+    ui = UserItemGraph(num_users, num_items, sorted(interactions))
+    kg = KnowledgeGraph(num_entities, 2,
+                        sorted((h, r, t) for h, r, t in triples if h != t))
+    return CollaborativeKG.build(ui, kg)
+
+
+class TestForwardPush:
+    def test_matches_converged_power_iteration(self, ckg):
+        truth = personalized_pagerank_batch(ckg, [0, 1, 2], iterations=500,
+                                            tolerance=1e-14)
+        push = forward_push_batch(ckg, [0, 1, 2], epsilon=1e-8,
+                                  top_m=ckg.num_nodes)
+        for user in (0, 1, 2):
+            np.testing.assert_allclose(push.for_user(user),
+                                       truth.for_user(user), atol=1e-5)
+
+    def test_push_underestimates(self, ckg):
+        # Forward push never overshoots: the estimate is a lower bound on
+        # the true PPR vector (the invariant p + sum r_u * ppr_u = ppr).
+        truth = personalized_pagerank_batch(ckg, [0], iterations=500,
+                                            tolerance=1e-14)
+        push = forward_push_batch(ckg, [0], epsilon=1e-3,
+                                  top_m=ckg.num_nodes)
+        assert np.all(push.for_user(0) <= truth.for_user(0) + 1e-6)
+        assert push.residual >= 0.0
+
+    def test_restart_node_dominates(self, ckg):
+        push = forward_push_batch(ckg, [1])
+        scores = push.for_user(1)
+        assert scores[ckg.user_node(1)] == scores.max()
+
+    @settings(max_examples=15, deadline=None)
+    @given(st.integers(0, 10_000))
+    def test_small_epsilon_matches_power_top_k(self, seed):
+        """Property: push top-K carries (almost) the converged top-K mass.
+
+        Compared by mass, not by exact node sets — ties among equal-score
+        nodes make set equality flaky while the retained mass is stable.
+        """
+        graph = _random_ckg(seed)
+        users = list(range(graph.num_users))
+        truth = personalized_pagerank_batch(graph, users, iterations=500,
+                                            tolerance=1e-14)
+        push = forward_push_batch(graph, users, epsilon=1e-8,
+                                  top_m=graph.num_nodes)
+        k = min(10, graph.num_nodes)
+        for user in users:
+            exact = truth.for_user(user)
+            approx = push.for_user(user)
+            top_truth = np.sort(exact)[-k:].sum()
+            top_push = exact[np.argsort(approx)[-k:]].sum()
+            assert top_push >= top_truth - 1e-5
+
+    def test_top_m_truncation_keeps_largest(self, ckg):
+        full = forward_push_batch(ckg, [0], epsilon=1e-8,
+                                  top_m=ckg.num_nodes)
+        truncated = forward_push_batch(ckg, [0], epsilon=1e-8, top_m=3)
+        dense = full.for_user(0)
+        kept = truncated.for_user(0)
+        assert truncated.nnz <= 3
+        # The retained entries are the 3 globally largest scores.
+        expected = np.sort(dense)[-3:]
+        np.testing.assert_allclose(np.sort(kept[kept > 0]), expected,
+                                   rtol=1e-6)
+
+    def test_validation(self, ckg):
+        with pytest.raises(ValueError):
+            forward_push_batch(ckg, [])
+        with pytest.raises(ValueError):
+            forward_push_batch(ckg, [0], alpha=0.0)
+        with pytest.raises(ValueError):
+            forward_push_batch(ckg, [0], epsilon=0.0)
+        with pytest.raises(ValueError):
+            forward_push_batch(ckg, [0], top_m=0)
+
+
+class TestSparseScores:
+    @pytest.fixture
+    def scores(self):
+        # Two rows over 10 nodes: row 0 holds {2: .5, 7: .25},
+        # row 1 holds {0: .125, 9: .0625}.
+        return SparsePPRScores(
+            users=np.array([4, 11]), num_nodes=10,
+            indptr=np.array([0, 2, 4]),
+            node_ids=np.array([2, 7, 0, 9]),
+            values=np.array([0.5, 0.25, 0.125, 0.0625], dtype=np.float32))
+
+    def test_lookup_hits(self, scores):
+        out = scores.lookup(np.array([0, 0, 1, 1]), np.array([2, 7, 0, 9]))
+        np.testing.assert_array_equal(out, [0.5, 0.25, 0.125, 0.0625])
+
+    def test_lookup_misses_are_zero(self, scores):
+        out = scores.lookup(np.array([0, 1, 0]), np.array([3, 2, 0]))
+        np.testing.assert_array_equal(out, [0.0, 0.0, 0.0])
+
+    def test_lookup_out_of_order_and_repeated(self, scores):
+        out = scores.lookup(np.array([1, 0, 1, 0, 0]),
+                            np.array([9, 7, 9, 2, 5]))
+        np.testing.assert_array_equal(out, [0.0625, 0.25, 0.0625, 0.5, 0.0])
+
+    def test_lookup_float32_round_trip(self, scores):
+        out = scores.lookup(np.array([0]), np.array([2]))
+        assert out.dtype == np.float32
+        assert out[0] == np.float32(0.5)
+
+    def test_lookup_empty_query(self, scores):
+        assert scores.lookup(np.array([], dtype=np.int64),
+                             np.array([], dtype=np.int64)).size == 0
+
+    def test_for_user_and_has_user(self, scores):
+        dense = scores.for_user(4)
+        assert dense.shape == (10,)
+        assert dense[2] == np.float32(0.5)
+        assert dense.sum() == np.float32(0.75)
+        assert scores.has_user(11)
+        assert not scores.has_user(0)
+        with pytest.raises(KeyError):
+            scores.for_user(0)
+
+    def test_toarray_matches_lookup(self, scores):
+        dense = scores.toarray()
+        assert dense.shape == (2, 10)
+        slots = np.repeat([0, 1], 10)
+        nodes = np.tile(np.arange(10), 2)
+        np.testing.assert_array_equal(dense.ravel(),
+                                      scores.lookup(slots, nodes))
+
+    def test_dense_columns(self, scores):
+        cols = scores.dense_columns(np.array([2, 0, 9]))
+        np.testing.assert_array_equal(
+            cols, [[0.5, 0.0, 0.0], [0.0, 0.125, 0.0625]])
+
+    def test_select_reorders_rows(self, scores):
+        sub = scores.select([11, 4])
+        np.testing.assert_array_equal(sub.users, [11, 4])
+        np.testing.assert_array_equal(sub.toarray(),
+                                      scores.toarray()[[1, 0]])
+
+    def test_select_unknown_user_raises(self, scores):
+        with pytest.raises(KeyError):
+            scores.select([99])
+
+    def test_normalize_by_degree(self, scores):
+        degrees = np.arange(10, dtype=np.int64)  # node 0 has degree 0
+        expected = scores.toarray() / np.maximum(degrees, 1)
+        scores.normalize_by_degree(degrees)
+        np.testing.assert_allclose(scores.toarray(), expected, rtol=1e-6)
+
+    def test_nbytes_and_nnz(self, scores):
+        assert scores.nnz == 4
+        dense_bytes = 2 * 10 * 8
+        assert scores.nbytes < dense_bytes
+
+    def test_sparsify_round_trip(self, ckg):
+        batch = personalized_pagerank_batch(ckg, [0, 2])
+        sparse = sparsify_scores(batch.scores, [0, 2],
+                                 top_m=ckg.num_nodes)
+        np.testing.assert_allclose(sparse.toarray(), batch.scores,
+                                   atol=1e-7)
+        np.testing.assert_array_equal(sparse.users, [0, 2])
+
+
+class TestTrainerEquivalence:
+    def test_fit_and_score_users_parity(self):
+        """Power and push backends produce near-identical recommendations."""
+        split = traditional_split(lastfm_like(seed=0, scale=0.25), seed=0)
+
+        def train(method):
+            rec = KUCNetRecommender(
+                KUCNetConfig(dim=8, depth=3, seed=0),
+                TrainConfig(epochs=1, k=10, seed=0, ppr_method=method))
+            rec.fit(split)
+            return rec
+
+        power = train("power")
+        push = train("push")
+        users = list(range(min(12, split.train.num_users)))
+        scores_a = power.score_users(users)
+        scores_b = push.score_users(users)
+        assert scores_a.shape == scores_b.shape
+        overlaps = []
+        for row_a, row_b in zip(scores_a, scores_b):
+            top_a = set(np.argsort(row_a)[-10:].tolist())
+            top_b = set(np.argsort(row_b)[-10:].tolist())
+            overlaps.append(len(top_a & top_b) / 10.0)
+        assert float(np.mean(overlaps)) >= 0.7, overlaps
+
+    def test_push_backend_stores_sparse(self):
+        split = traditional_split(lastfm_like(seed=0, scale=0.25), seed=0)
+        rec = KUCNetRecommender(
+            KUCNetConfig(dim=8, depth=2, seed=0),
+            TrainConfig(epochs=1, k=10, seed=0, ppr_method="push",
+                        ppr_top_m=64))
+        rec.fit(split)
+        assert isinstance(rec.ppr_scores, SparsePPRScores)
+        per_user = np.diff(rec.ppr_scores.indptr)
+        assert per_user.max() <= 64
+
+    def test_unknown_method_rejected(self):
+        split = traditional_split(lastfm_like(seed=0, scale=0.25), seed=0)
+        rec = KUCNetRecommender(
+            KUCNetConfig(dim=8, depth=2, seed=0),
+            TrainConfig(epochs=1, k=10, seed=0, ppr_method="jacobi"))
+        with pytest.raises(ValueError):
+            rec.fit(split)

@@ -111,6 +111,15 @@ class TestUserCentricGraph:
         rows = graph.final_rows(0, np.asarray([unreachable]))
         assert rows[0] == -1
 
+    def test_rows_for_pairs_empty_table(self, ckg):
+        # Regression: an all-empty layer table used to wrap the clipped
+        # searchsorted position to index -1 and report spurious matches.
+        graph = build_user_centric_graph(ckg, [0], depth=1, k=None)
+        graph.slots[1] = np.empty(0, dtype=np.int64)
+        graph.nodes[1] = np.empty(0, dtype=np.int64)
+        rows = graph.rows_for_pairs(1, np.array([0, 0]), np.array([0, 3]))
+        assert rows.tolist() == [-1, -1]
+
     def test_validation(self, ckg):
         with pytest.raises(ValueError):
             build_user_centric_graph(ckg, [0], depth=0)

@@ -15,13 +15,19 @@ RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
 
 @pytest.fixture
 def report():
-    """Print a TableResult and persist it under benchmarks/results/."""
+    """Print a TableResult and persist it under benchmarks/results/.
+
+    Writes both renderings: ``<stem>.md`` for humans and ``<stem>.json``
+    for the trend tooling (``repro bench report`` and friends), so the
+    paper-table benches leave machine-readable artifacts too.
+    """
 
     def _report(result, stem):
         text = result.render()
         print("\n" + text)
         path = result.save(RESULTS_DIR, stem)
-        print(f"[saved {path}]")
+        json_path = result.save_json(RESULTS_DIR, stem)
+        print(f"[saved {path} and {json_path}]")
         return result
 
     return _report

@@ -1,0 +1,34 @@
+"""Performance-regression observatory (``docs/benchmarking.md``).
+
+The paper's headline contribution is an efficiency claim, so this
+package makes performance a *recorded trajectory* rather than a commit-
+message assertion:
+
+* :mod:`.workloads` — named, parameterized wrappers of the hot paths
+  (autodiff primitives, graph assembly, both PPR backends, a training
+  epoch, ranking evaluation);
+* :mod:`.harness` — warmup + adaptive repeats + median/IQR timing with
+  a per-workload telemetry snapshot;
+* :mod:`.artifact` — the schema-versioned ``BENCH_*.json`` record
+  (git SHA, machine fingerprint, harness config, RunManifest);
+* :mod:`.compare` — strict deterministic counter gates, advisory
+  noise-aware wall-time gates, and markdown trend reports.
+
+Shell entry points: ``repro bench run|compare|report|list``.
+"""
+
+from .artifact import (SCHEMA, git_sha, load_report, machine_fingerprint,
+                       save_report, validate_report)
+from .compare import (GATED_HISTOGRAM_MAX, CompareConfig, CompareResult,
+                      Finding, compare_reports, trend_report)
+from .harness import HarnessConfig, WorkloadResult, run_suite, run_workload
+from .workloads import SUITES, WORKLOADS, Workload, get_workloads, register
+
+__all__ = [
+    "SCHEMA", "SUITES", "WORKLOADS", "Workload", "register", "get_workloads",
+    "HarnessConfig", "WorkloadResult", "run_workload", "run_suite",
+    "git_sha", "machine_fingerprint", "save_report", "load_report",
+    "validate_report",
+    "CompareConfig", "CompareResult", "Finding", "compare_reports",
+    "trend_report", "GATED_HISTOGRAM_MAX",
+]

@@ -6,11 +6,18 @@ Usage::
     python -m repro run table3 [--profile quick|full] [--output DIR]
     python -m repro datasets --output DIR [--scale 1.0]
     python -m repro profile [--dataset NAME] [--sink table|jsonl] [--out FILE]
+    python -m repro bench run [--suite quick|full] [--out FILE]
+    python -m repro bench compare BASELINE CANDIDATE
+    python -m repro bench report DIR [--out FILE]
 
 ``run`` executes one experiment runner (a paper table or figure) and
 prints the measured-vs-paper rows; ``datasets`` materializes the four
 synthetic datasets as TSV directories; ``profile`` runs one instrumented
-train/eval pass and dumps the telemetry (see ``docs/observability.md``).
+train/eval pass and dumps the telemetry (see ``docs/observability.md``);
+``bench`` is the performance-regression observatory — it times the
+registered workloads into a ``BENCH_*.json`` artifact, gates a candidate
+dump against a baseline, and renders trend reports
+(see ``docs/benchmarking.md``).
 """
 
 from __future__ import annotations
@@ -65,6 +72,52 @@ def build_parser() -> argparse.ArgumentParser:
                          help="output format: human-readable table or JSONL")
     profile.add_argument("--out", default=None,
                          help="output path (required for --sink jsonl)")
+
+    bench = commands.add_parser(
+        "bench",
+        help="performance-regression observatory: run / compare / report")
+    bench_commands = bench.add_subparsers(dest="bench_command", required=True)
+
+    bench_run = bench_commands.add_parser(
+        "run", help="time the workload suite into a BENCH_<suite>.json")
+    bench_run.add_argument("--suite", default="quick",
+                           choices=["quick", "full"],
+                           help="workload parameter set (default quick)")
+    bench_run.add_argument("--workload", action="append", default=None,
+                           metavar="NAME",
+                           help="run only this workload (repeatable)")
+    bench_run.add_argument("--out", default=None,
+                           help="artifact path (default BENCH_<suite>.json)")
+    bench_run.add_argument("--warmup", type=int, default=1,
+                           help="discarded warmup runs per workload")
+    bench_run.add_argument("--min-repeats", type=int, default=3)
+    bench_run.add_argument("--max-repeats", type=int, default=30)
+    bench_run.add_argument("--budget-seconds", type=float, default=1.0,
+                           help="timed-repeat wall budget per workload")
+
+    bench_compare = bench_commands.add_parser(
+        "compare", help="gate a candidate dump against a baseline dump")
+    bench_compare.add_argument("baseline", help="baseline BENCH_*.json")
+    bench_compare.add_argument("candidate", help="candidate BENCH_*.json")
+    bench_compare.add_argument("--counter-tol", type=float, default=0.10,
+                               help="relative tolerance on counter totals "
+                                    "(strict gate, default 0.10)")
+    bench_compare.add_argument("--time-ratio", type=float, default=1.25,
+                               help="allowed median wall-time growth ratio")
+    bench_compare.add_argument("--iqr-scale", type=float, default=3.0,
+                               help="baseline IQRs of extra wall slack")
+    bench_compare.add_argument("--strict-time", action="store_true",
+                               help="escalate wall-time findings to failures")
+
+    bench_report = bench_commands.add_parser(
+        "report", help="markdown trend report from a directory of dumps")
+    bench_report.add_argument("directory",
+                              help="directory holding BENCH_*.json dumps")
+    bench_report.add_argument("--pattern", default="BENCH_*.json")
+    bench_report.add_argument("--out", default=None,
+                              help="write the markdown here instead of stdout")
+
+    bench_commands.add_parser("list", help="list registered workloads")
     return parser
 
 
@@ -106,6 +159,9 @@ def main(argv: Optional[List[str]] = None) -> int:
 
     if args.command == "profile":
         return _run_profile(args)
+
+    if args.command == "bench":
+        return _run_bench(args)
 
     # Defensive fallback: argparse rejects unknown subcommands itself, but
     # if a registered command ever goes unhandled we still fail loudly
@@ -170,6 +226,61 @@ def _run_profile(args: argparse.Namespace) -> int:
             print(f"\n[saved {args.out}]")
     print(f"\n{result}", file=sys.stderr)
     return 0
+
+
+def _run_bench(args: argparse.Namespace) -> int:
+    """``repro bench run|compare|report|list`` (docs/benchmarking.md)."""
+    from . import bench
+
+    if args.bench_command == "list":
+        for workload in bench.WORKLOADS.values():
+            print(f"{workload.name:28s} {workload.description}")
+        return 0
+
+    if args.bench_command == "run":
+        config = bench.HarnessConfig(
+            warmup=args.warmup, min_repeats=args.min_repeats,
+            max_repeats=args.max_repeats,
+            budget_seconds=args.budget_seconds)
+        try:
+            report = bench.run_suite(args.suite, names=args.workload,
+                                     config=config, verbose=True)
+        except KeyError as error:
+            print(f"repro bench: {error.args[0]}", file=sys.stderr)
+            return 2
+        out = args.out or f"BENCH_{args.suite}.json"
+        bench.save_report(report, out)
+        print(f"[wrote {out}: {len(report['workloads'])} workloads, "
+              f"git {report['git_sha'][:10]}]")
+        return 0
+
+    if args.bench_command == "compare":
+        try:
+            baseline = bench.load_report(args.baseline)
+            candidate = bench.load_report(args.candidate)
+        except (OSError, ValueError) as error:
+            print(f"repro bench compare: {error}", file=sys.stderr)
+            return 2
+        config = bench.CompareConfig(
+            counter_tol=args.counter_tol, time_ratio=args.time_ratio,
+            iqr_scale=args.iqr_scale, strict_time=args.strict_time)
+        result = bench.compare_reports(baseline, candidate, config)
+        print(result.render())
+        return 0 if result.passed else 1
+
+    if args.bench_command == "report":
+        text = bench.trend_report(args.directory, pattern=args.pattern)
+        if args.out:
+            with open(args.out, "w", encoding="utf-8") as handle:
+                handle.write(text)
+            print(f"[wrote {args.out}]")
+        else:
+            print(text)
+        return 0
+
+    print(f"repro bench: unhandled subcommand {args.bench_command!r}",
+          file=sys.stderr)
+    return 2
 
 
 if __name__ == "__main__":

@@ -203,19 +203,9 @@ class KUCNetRecommender:
         best_loss = np.inf
         stale_epochs = 0
         for epoch in range(config.epochs):
-            with telemetry.span("train.epoch") as epoch_span:
-                order = self._rng.permutation(len(train_users))
-                losses = []
-                for start in range(0, len(train_users), config.batch_users):
-                    batch = [train_users[index]
-                             for index in order[start:start + config.batch_users]]
-                    loss_value = self._train_batch(batch, split, optimizer)
-                    if loss_value is not None:
-                        losses.append(loss_value)
-            seconds = epoch_span.elapsed
+            loss, seconds = self.run_epoch(split, optimizer, train_users)
             cumulative += seconds
-            stats = EpochStats(epoch=epoch,
-                               loss=float(np.mean(losses)) if losses else 0.0,
+            stats = EpochStats(epoch=epoch, loss=loss,
                                seconds=seconds, cumulative_seconds=cumulative)
             self.history.append(stats)
             if config.verbose:
@@ -231,6 +221,32 @@ class KUCNetRecommender:
                     if stale_epochs >= config.patience:
                         break
         return self
+
+    def run_epoch(self, split: Split, optimizer: Adam,
+                  train_users: Optional[Sequence[int]] = None
+                  ) -> Tuple[float, float]:
+        """Run one BPR training epoch; returns ``(mean_loss, seconds)``.
+
+        Requires :meth:`prepare` to have been called (``fit`` does both).
+        Exposed separately so benchmarks can time the steady-state epoch
+        in isolation from the one-time CKG/PPR preprocessing.
+        """
+        if self.model is None:
+            raise RuntimeError("call prepare(split) before run_epoch()")
+        config = self.train_config
+        if train_users is None:
+            train_users = list(split.train.users_with_interactions())
+        with telemetry.span("train.epoch") as epoch_span:
+            order = self._rng.permutation(len(train_users))
+            losses = []
+            for start in range(0, len(train_users), config.batch_users):
+                batch = [train_users[index]
+                         for index in order[start:start + config.batch_users]]
+                loss_value = self._train_batch(batch, split, optimizer)
+                if loss_value is not None:
+                    losses.append(loss_value)
+        mean_loss = float(np.mean(losses)) if losses else 0.0
+        return mean_loss, epoch_span.elapsed
 
     def _train_batch(self, users: Sequence[int], split: Split,
                      optimizer: Adam) -> Optional[float]:

@@ -294,7 +294,6 @@ def run_ppr_backends(profile: Optional[Profile] = None,
     from ..ppr import (forward_push_batch, personalized_pagerank_batch,
                        sparsify_scores)
     from ..sampling import build_user_centric_graph
-    import time as _time
 
     profile = profile or active_profile()
     if scale is None:
@@ -307,12 +306,17 @@ def run_ppr_backends(profile: Optional[Profile] = None,
     k = KUCNET_K[("lastfm_like", "traditional")]
     depth = KUCNET_DEPTH[("lastfm_like", "traditional")]
 
-    start = _time.perf_counter()
-    power = personalized_pagerank_batch(ckg, users)
-    power_seconds = _time.perf_counter() - start
-    start = _time.perf_counter()
-    push = forward_push_batch(ckg, users, epsilon=epsilon, top_m=top_m)
-    push_seconds = _time.perf_counter() - start
+    # Spans rather than bare perf_counter pairs: the backend comparison
+    # shares the ppr.* namespace, so a profiled run of this experiment
+    # lands in the same registry (and dumps) as the trainer's own
+    # ppr.precompute.  Span.elapsed is populated even with telemetry
+    # disabled, so the table works outside an enabled() block too.
+    with telemetry.span("ppr.precompute.power") as power_span:
+        power = personalized_pagerank_batch(ckg, users)
+    power_seconds = power_span.elapsed
+    with telemetry.span("ppr.precompute.push") as push_span:
+        push = forward_push_batch(ckg, users, epsilon=epsilon, top_m=top_m)
+    push_seconds = push_span.elapsed
 
     # Converged reference for the fidelity rows (not timed: 300 sweeps
     # is far beyond either backend's operating point).

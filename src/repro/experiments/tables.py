@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import json
 import os
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
@@ -79,6 +80,33 @@ class TableResult:
         path = os.path.join(directory, f"{stem}.md")
         with open(path, "w") as handle:
             handle.write(self.render_markdown())
+        return path
+
+    def to_dict(self) -> Dict[str, object]:
+        """Schema-tagged plain-dict form (the ``stem.json`` payload)."""
+        return {
+            "schema": "repro.table/1",
+            "title": self.title,
+            "columns": list(self.columns),
+            "rows": {name: dict(cells) for name, cells in self.rows.items()},
+            "paper": ({name: dict(cells)
+                       for name, cells in self.paper.items()}
+                      if self.paper else None),
+            "notes": list(self.notes),
+        }
+
+    def save_json(self, directory: str, stem: str) -> str:
+        """Write the machine-readable form to ``directory/stem.json``.
+
+        Saved beside the markdown by the benchmark ``report`` fixture so
+        paper-table results feed the same trend tooling as the
+        ``BENCH_*.json`` artifacts (``docs/benchmarking.md``).
+        """
+        os.makedirs(directory, exist_ok=True)
+        path = os.path.join(directory, f"{stem}.json")
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump(self.to_dict(), handle, indent=2, sort_keys=True)
+            handle.write("\n")
         return path
 
 

@@ -30,17 +30,20 @@ Span names follow a dotted taxonomy (see ``docs/observability.md``):
 from __future__ import annotations
 
 import contextlib
+import functools
 import math
 import threading
 import time
 from dataclasses import dataclass, field
-from typing import Dict, Iterator, List, Optional
+from typing import Callable, Dict, Iterator, List, Optional, TypeVar
 
 __all__ = [
     "Span", "SpanStats", "CounterStats", "GaugeStats", "HistogramStats",
-    "MetricsRegistry", "span", "counter", "gauge", "histogram",
+    "MetricsRegistry", "span", "counter", "gauge", "histogram", "timed",
     "enable", "disable", "is_enabled", "enabled", "get_registry", "reset",
 ]
+
+_F = TypeVar("_F", bound=Callable)
 
 #: cap on raw values kept per histogram (count/sum/min/max stay exact)
 HISTOGRAM_SAMPLE_CAP = 10_000
@@ -342,6 +345,27 @@ class Span:
 def span(name: str) -> Span:
     """Open a named span: ``with span("train.epoch") as sp: ...``."""
     return Span(name)
+
+
+def timed(name: str) -> Callable[[_F], _F]:
+    """Decorator form of :func:`span`: time every call of a function.
+
+    ``@tm.timed("bench.graph.build")`` wraps the function body in a
+    :class:`Span`, so each call records one observation under ``name``
+    when telemetry is enabled (and costs a flag check when disabled).
+    Exception-safe: the span closes and records even when the wrapped
+    function raises, because the timing lives in ``Span.__exit__``.
+    """
+
+    def decorate(fn: _F) -> _F:
+        @functools.wraps(fn)
+        def wrapper(*args, **kwargs):
+            with Span(name):
+                return fn(*args, **kwargs)
+
+        return wrapper
+
+    return decorate
 
 
 def counter(name: str, value: float = 1.0) -> None:

@@ -58,6 +58,23 @@ class TestTraining:
         with pytest.raises(RuntimeError):
             rec.score_users([0])
 
+    def test_run_epoch_before_prepare_raises(self, small_split):
+        rec = KUCNetRecommender()
+        with pytest.raises(RuntimeError, match="prepare"):
+            rec.run_epoch(small_split, optimizer=None)
+
+    def test_run_epoch_standalone_matches_fit_loop(self, small_split):
+        from repro.autodiff import Adam
+
+        config = TrainConfig(epochs=1, k=10, seed=0)
+        rec = KUCNetRecommender(KUCNetConfig(dim=8, depth=2, seed=0), config)
+        rec.prepare(small_split)
+        optimizer = Adam(rec.model.parameters(), lr=config.learning_rate,
+                         weight_decay=config.weight_decay)
+        loss, seconds = rec.run_epoch(small_split, optimizer)
+        assert np.isfinite(loss) and loss > 0.0
+        assert seconds > 0.0
+
     def test_callback_invoked(self, small_split):
         events = []
         rec = KUCNetRecommender(KUCNetConfig(dim=8, depth=3, seed=0),

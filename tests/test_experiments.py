@@ -98,6 +98,19 @@ class TestTableResult:
         with open(path) as handle:
             assert "KUCNet" in handle.read()
 
+    def test_save_json_round_trips_schema_and_cells(self, table, tmp_path):
+        import json
+
+        path = table.save_json(str(tmp_path), "demo")
+        assert path.endswith("demo.json")
+        with open(path) as handle:
+            payload = json.load(handle)
+        assert payload["schema"] == "repro.table/1"
+        assert payload["title"] == "Demo"
+        assert payload["rows"]["KUCNet"]["recall"] == 0.2
+        assert payload["paper"]["MF"] == {"recall": 0.07}
+        assert payload["notes"] == ["a note"]
+
 
 class TestRunners:
     def test_registry_covers_all_tables_and_figures(self):

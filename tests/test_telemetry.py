@@ -95,6 +95,48 @@ class TestSpans:
         assert tm.get_registry().spans["boom"].count == 1
 
 
+class TestTimedDecorator:
+    def test_timed_records_span_per_call(self):
+        @tm.timed("bench.work")
+        def work(x, y=1):
+            time.sleep(0.001)
+            return x + y
+
+        with tm.enabled():
+            assert work(2, y=3) == 5
+            assert work(1) == 2
+        stats = tm.get_registry().spans["bench.work"]
+        assert stats.count == 2
+        assert stats.total_seconds >= 0.002
+
+    def test_timed_preserves_metadata_and_is_cheap_when_disabled(self):
+        @tm.timed("bench.quiet")
+        def quiet():
+            """docstring survives"""
+            return 7
+
+        assert quiet.__name__ == "quiet"
+        assert quiet.__doc__ == "docstring survives"
+        assert quiet() == 7
+        assert tm.get_registry().is_empty()
+
+    def test_timed_closes_span_when_function_raises(self):
+        @tm.timed("bench.boom")
+        def boom():
+            raise ValueError("x")
+
+        with tm.enabled():
+            with pytest.raises(ValueError):
+                boom()
+            # The failed call's span must have been popped: a sibling
+            # span recorded afterwards nests under nothing.
+            with tm.span("bench.after"):
+                pass
+        registry = tm.get_registry()
+        assert registry.spans["bench.boom"].count == 1
+        assert registry.spans["bench.after"].count == 1
+
+
 class TestInstruments:
     def test_counter_accumulates(self):
         with tm.enabled():
@@ -253,6 +295,26 @@ class TestSinksAndManifest:
         assert sections["histogram"]["graph.nodes_per_layer.l1"]["max"] == 17
         rebuilt = tm.RunManifest.from_record(parsed)
         assert rebuilt.seed == 7 and rebuilt.config == {"dim": 8}
+
+    def test_read_jsonl_tolerates_unknown_record_kinds(self, tmp_path):
+        """Forward compatibility: new record kinds must not break readers."""
+        with tm.enabled():
+            tm.counter("ppr.push_ops", 3)
+        path = str(tmp_path / "dump.jsonl")
+        tm.write_jsonl(path)
+        with open(path, "a", encoding="utf-8") as handle:
+            handle.write(json.dumps({"record": "flux_capacitor",
+                                     "name": "future", "jigawatts": 1.21})
+                         + "\n")
+
+        records = tm.read_jsonl(path)
+        assert {"record": "flux_capacitor", "name": "future",
+                "jigawatts": 1.21} in records
+        manifest, sections = tm.split_records(records)
+        assert manifest is None
+        assert sections["counter"]["ppr.push_ops"]["total"] == 3
+        assert all("future" not in section
+                   for section in sections.values())
 
     def test_jsonl_is_valid_json_per_line(self, tmp_path):
         with tm.enabled():

@@ -271,6 +271,53 @@ def _build_train_epoch(scale: float, dim: int, depth: int, k: int,
     return run
 
 
+def _build_parallel_ppr(scale: float, num_workers: int, epsilon: float,
+                        top_m: int, chunk_users: int):
+    """Shared factory for the serial/workers PPR fan-out pair."""
+    from ..core.trainer import _ppr_push_chunk
+    from ..parallel import chunk_sequence, run_parallel
+    from ..ppr import concat_sparse_scores
+
+    _, _, ckg = _ckg(scale)
+    users = np.arange(ckg.num_users)
+    chunks = chunk_sequence(users, chunk_users)
+    context = (ckg, 0.15, epsilon, top_m)
+
+    def run():
+        parts = run_parallel(_ppr_push_chunk, chunks, context=context,
+                             num_workers=num_workers, label="bench.ppr")
+        concat_sparse_scores(parts)
+
+    return run
+
+
+@register("parallel.ppr_push.serial",
+          "chunked forward-push PPR precompute, serial arm of the "
+          "speedup pair",
+          quick={"scale": 2.0, "num_workers": 1, "epsilon": 1e-4,
+                 "top_m": 256, "chunk_users": 64},
+          full={"scale": 4.0, "num_workers": 1, "epsilon": 1e-4,
+                "top_m": 256, "chunk_users": 64})
+def _build_parallel_ppr_serial(scale: float, num_workers: int, epsilon: float,
+                               top_m: int, chunk_users: int):
+    return _build_parallel_ppr(scale, num_workers, epsilon, top_m,
+                               chunk_users)
+
+
+@register("parallel.ppr_push.workers",
+          "same chunks fanned across a 2-process pool; median ratio vs "
+          "the serial arm is the recorded speedup",
+          quick={"scale": 2.0, "num_workers": 2, "epsilon": 1e-4,
+                 "top_m": 256, "chunk_users": 64},
+          full={"scale": 4.0, "num_workers": 4, "epsilon": 1e-4,
+                "top_m": 256, "chunk_users": 64})
+def _build_parallel_ppr_workers(scale: float, num_workers: int,
+                                epsilon: float, top_m: int,
+                                chunk_users: int):
+    return _build_parallel_ppr(scale, num_workers, epsilon, top_m,
+                               chunk_users)
+
+
 @register("eval.rank",
           "all-ranking evaluation of a trained model (recall/ndcg@20)",
           quick={"scale": 0.3, "dim": 16, "depth": 2, "k": 10,

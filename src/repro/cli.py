@@ -3,10 +3,11 @@
 Usage::
 
     python -m repro list
-    python -m repro run table3 [--profile quick|full] [--output DIR]
+    python -m repro run table3 [--profile quick|full] [--output DIR] [--workers N]
     python -m repro datasets --output DIR [--scale 1.0]
     python -m repro profile [--dataset NAME] [--sink table|jsonl] [--out FILE]
-    python -m repro bench run [--suite quick|full] [--out FILE]
+                            [--workers N]
+    python -m repro bench run [--suite quick|full] [--out FILE] [--workers N]
     python -m repro bench compare BASELINE CANDIDATE
     python -m repro bench report DIR [--out FILE]
 
@@ -42,6 +43,10 @@ def build_parser() -> argparse.ArgumentParser:
                      help="execution profile (default: REPRO_PROFILE or quick)")
     run.add_argument("--output", default=None,
                      help="directory to save the markdown rendering")
+    run.add_argument("--workers", type=int, default=None,
+                     help="worker processes for per-user-chunk fan-out "
+                          "(sets REPRO_NUM_WORKERS for the experiment; "
+                          "default 1 = serial)")
 
     datasets = commands.add_parser("datasets",
                                    help="generate the synthetic datasets")
@@ -67,6 +72,9 @@ def build_parser() -> argparse.ArgumentParser:
                          choices=["power", "push"],
                          help="PPR solver: dense power iteration or sparse "
                               "forward push (see docs/performance.md)")
+    profile.add_argument("--workers", type=int, default=None,
+                         help="worker processes for PPR precompute and eval "
+                              "batches (default $REPRO_NUM_WORKERS or 1)")
     profile.add_argument("--sink", default="table",
                          choices=["table", "jsonl"],
                          help="output format: human-readable table or JSONL")
@@ -94,6 +102,9 @@ def build_parser() -> argparse.ArgumentParser:
     bench_run.add_argument("--max-repeats", type=int, default=30)
     bench_run.add_argument("--budget-seconds", type=float, default=1.0,
                            help="timed-repeat wall budget per workload")
+    bench_run.add_argument("--workers", type=int, default=1,
+                           help="worker processes for the timed repeats "
+                                "(the instrumented pass stays serial)")
 
     bench_compare = bench_commands.add_parser(
         "compare", help="gate a candidate dump against a baseline dump")
@@ -134,11 +145,17 @@ def main(argv: Optional[List[str]] = None) -> int:
         return 0
 
     if args.command == "run":
+        import os
         from .experiments import EXPERIMENTS, PROFILES, active_profile
         if args.experiment not in EXPERIMENTS:
             print(f"unknown experiment {args.experiment!r}; "
                   f"choose from {sorted(EXPERIMENTS)}", file=sys.stderr)
             return 2
+        if args.workers is not None:
+            # Experiment runners build their own TrainConfig instances;
+            # the environment default is how the worker count reaches
+            # every one of them (see repro.parallel.resolve_workers).
+            os.environ["REPRO_NUM_WORKERS"] = str(args.workers)
         profile = PROFILES[args.profile] if args.profile else active_profile()
         result = EXPERIMENTS[args.experiment](profile)
         print(result.render())
@@ -193,13 +210,15 @@ def _run_profile(args: argparse.Namespace) -> int:
     model_config = KUCNetConfig(dim=16, depth=args.depth, seed=args.seed)
     train_config = TrainConfig(epochs=args.epochs, batch_users=16,
                                k=args.k, ppr_method=args.ppr_method,
+                               num_workers=args.workers,
                                seed=args.seed)
 
     telemetry.reset()
     with telemetry.enabled():
         model = KUCNetRecommender(model_config, train_config)
         model.fit(split)
-        result = evaluate(model, split, max_users=32, seed=args.seed)
+        result = evaluate(model, split, max_users=32, seed=args.seed,
+                          num_workers=args.workers)
 
     manifest = telemetry.RunManifest(
         run=f"profile:{args.dataset}",
@@ -241,7 +260,8 @@ def _run_bench(args: argparse.Namespace) -> int:
         config = bench.HarnessConfig(
             warmup=args.warmup, min_repeats=args.min_repeats,
             max_repeats=args.max_repeats,
-            budget_seconds=args.budget_seconds)
+            budget_seconds=args.budget_seconds,
+            num_workers=args.workers)
         try:
             report = bench.run_suite(args.suite, names=args.workload,
                                      config=config, verbose=True)

@@ -19,8 +19,11 @@ Variants (Table IX / Fig. 6) are selected by configuration:
 
 from __future__ import annotations
 
+import os
+import warnings
+from collections import OrderedDict
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Sequence, Tuple
+from typing import Callable, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -28,10 +31,15 @@ from .. import telemetry
 from ..autodiff import Adam, bpr_loss
 from ..data import Split
 from ..graph import CollaborativeKG
-from ..ppr import (PPRScoreLike, forward_push_batch,
+from ..parallel import chunk_sequence, resolve_workers, run_parallel
+from ..ppr import (PPRScoreLike, concat_sparse_scores, forward_push_batch,
                    personalized_pagerank_batch)
 from ..sampling import ComputationGraph, build_user_centric_graph
 from .model import KUCNet, KUCNetConfig, Propagation
+
+#: rejection-resampling attempts per batch before the negative sampler
+#: switches to exact set-difference sampling (see :meth:`_sample_pairs`)
+MAX_NEGATIVE_RESAMPLES = 32
 
 
 @dataclass
@@ -77,6 +85,16 @@ class TrainConfig:
     #: mass is confounded by global popularity.  Markedly better in the
     #: new-item setting (see EXPERIMENTS.md).
     ppr_degree_normalized: bool = True
+    #: bound on the per-batch computation-graph cache (LRU eviction).
+    #: Batches have stable membership across epochs (only their *order*
+    #: is permuted), so any bound >= the number of batches per epoch
+    #: gives a 100% hit rate from epoch 2 on.
+    graph_cache_entries: int = 64
+    #: worker processes for per-user-chunk fan-out (PPR precompute).
+    #: ``None`` defers to ``$REPRO_NUM_WORKERS``; 1 is the serial fast
+    #: path with zero pool overhead.  Results are bitwise-identical
+    #: either way (see ``docs/performance.md``).
+    num_workers: Optional[int] = None
     seed: int = 0
     verbose: bool = False
     #: stop early when the epoch loss has not improved for this many
@@ -119,7 +137,10 @@ class KUCNetRecommender:
         self.ppr_scores: Optional[PPRScoreLike] = None
         self.history: List[EpochStats] = []
         self.ppr_seconds: float = 0.0
-        self._graph_cache: Dict[Tuple[int, ...], ComputationGraph] = {}
+        self._graph_cache: "OrderedDict[Tuple[int, ...], ComputationGraph]" = \
+            OrderedDict()
+        self.graph_cache_hits: int = 0
+        self.graph_cache_misses: int = 0
         self._rng = np.random.default_rng(self.train_config.seed)
 
     # ------------------------------------------------------------------
@@ -137,6 +158,8 @@ class KUCNetRecommender:
                 self.ppr_scores.normalize_by_degree(degrees)
         self.model = KUCNet(self.ckg.num_relations, self.model_config)
         self._graph_cache.clear()
+        self.graph_cache_hits = 0
+        self.graph_cache_misses = 0
         self._split = split
         self._train_item_pool = np.unique(split.train.items)
         # Per-user sorted positives, cached once: the pair sampler draws
@@ -155,26 +178,57 @@ class KUCNetRecommender:
         top of the dense result); ``"push"`` runs sparse forward push,
         whose output stays O(U x M).  Either way ``ppr.score_bytes``
         records the resident score footprint.
+
+        With ``num_workers > 1`` the per-chunk solves fan out across a
+        process pool (:mod:`repro.parallel`).  Chunk boundaries are the
+        same ``ppr_chunk_users`` the serial loop uses and chunks are
+        solved independently on either path, so the assembled scores —
+        and the merged ``ppr.*`` counters — are bitwise-identical to
+        the serial run.
         """
         config = self.train_config
         if config.ppr_method not in ("power", "push"):
             raise ValueError(f"unknown ppr_method {config.ppr_method!r}")
         users = np.arange(self.ckg.num_users)
         chunk = max(1, int(config.ppr_chunk_users))
+        workers = resolve_workers(config.num_workers)
+        chunks = chunk_sequence(users, chunk)
         if config.ppr_method == "push":
-            scores = forward_push_batch(
+            if workers > 1 and len(chunks) > 1:
+                parts = run_parallel(
+                    _ppr_push_chunk, chunks,
+                    context=(self.ckg, config.ppr_alpha, config.ppr_epsilon,
+                             config.ppr_top_m),
+                    num_workers=workers, label="ppr.push")
+                scores = concat_sparse_scores(parts)
+                # Per-chunk gauge writes are chunk-local; restate the
+                # whole-population values the serial call would record.
+                telemetry.gauge("ppr.residual_mass", scores.residual)
+                telemetry.gauge("ppr.score_bytes", scores.nbytes)
+                return scores
+            return forward_push_batch(
                 self.ckg, users, alpha=config.ppr_alpha,
                 epsilon=config.ppr_epsilon, top_m=config.ppr_top_m,
                 chunk_users=chunk)
-            return scores
         adjacency = self.ckg.normalized_adjacency()
         dense = np.empty((users.size, self.ckg.num_nodes))
-        for start in range(0, users.size, chunk):
-            part = personalized_pagerank_batch(
-                self.ckg, users[start:start + chunk],
-                alpha=config.ppr_alpha, iterations=config.ppr_iterations,
-                adjacency=adjacency, tolerance=config.ppr_tolerance)
-            dense[start:start + chunk] = part.scores
+        if workers > 1 and len(chunks) > 1:
+            parts = run_parallel(
+                _ppr_power_chunk, chunks,
+                context=(self.ckg, adjacency, config.ppr_alpha,
+                         config.ppr_iterations, config.ppr_tolerance),
+                num_workers=workers, label="ppr.power")
+            offset = 0
+            for piece, part in zip(chunks, parts):
+                dense[offset:offset + piece.size] = part
+                offset += piece.size
+        else:
+            for start in range(0, users.size, chunk):
+                part = personalized_pagerank_batch(
+                    self.ckg, users[start:start + chunk],
+                    alpha=config.ppr_alpha, iterations=config.ppr_iterations,
+                    adjacency=adjacency, tolerance=config.ppr_tolerance)
+                dense[start:start + chunk] = part.scores
         telemetry.gauge("ppr.score_bytes", dense.nbytes)
         return dense
 
@@ -236,13 +290,19 @@ class KUCNetRecommender:
         config = self.train_config
         if train_users is None:
             train_users = list(split.train.users_with_interactions())
+        # Batches keep stable *membership* across epochs — only their
+        # order is shuffled.  Shuffling membership instead (one
+        # permutation over users per epoch) would make every epoch's
+        # batch tuples unique, so the per-batch graph cache of
+        # `_graph_for` would never hit and grow by one graph per batch
+        # per epoch, unbounded on long runs.
+        batches = [tuple(train_users[start:start + config.batch_users])
+                   for start in range(0, len(train_users), config.batch_users)]
         with telemetry.span("train.epoch") as epoch_span:
-            order = self._rng.permutation(len(train_users))
+            order = self._rng.permutation(len(batches))
             losses = []
-            for start in range(0, len(train_users), config.batch_users):
-                batch = [train_users[index]
-                         for index in order[start:start + config.batch_users]]
-                loss_value = self._train_batch(batch, split, optimizer)
+            for index in order:
+                loss_value = self._train_batch(batches[index], split, optimizer)
                 if loss_value is not None:
                     losses.append(loss_value)
         mean_loss = float(np.mean(losses)) if losses else 0.0
@@ -300,12 +360,27 @@ class KUCNetRecommender:
                                                 size=config.pairs_per_user)]
             # Rejection-resample the (few) negatives that hit one of the
             # user's observed interactions; user_positives is sorted, so
-            # membership is a binary search.
+            # membership is a binary search.  The attempt cap guards the
+            # pathological user whose positives cover the whole pool —
+            # unbounded resampling would never terminate there.
             collides = np.isin(negatives, user_positives)
-            while collides.any():
+            attempts = 0
+            while collides.any() and attempts < MAX_NEGATIVE_RESAMPLES:
                 negatives[collides] = pool[self._rng.integers(
                     pool.size, size=int(collides.sum()))]
                 collides = np.isin(negatives, user_positives)
+                attempts += 1
+            if collides.any():
+                candidates = np.setdiff1d(pool, user_positives)
+                if candidates.size == 0:
+                    telemetry.counter("train.sampler_exhausted")
+                    warnings.warn(
+                        f"user {int(user)}: every pooled training item is a "
+                        "positive; no negatives exist — skipping the user",
+                        RuntimeWarning)
+                    continue
+                negatives[collides] = candidates[self._rng.integers(
+                    candidates.size, size=int(collides.sum()))]
             slot_chunks.append(np.full(config.pairs_per_user, slot,
                                        dtype=np.int64))
             pos_chunks.append(chosen)
@@ -323,18 +398,31 @@ class KUCNetRecommender:
 
         Graphs are deterministic for the PPR sampler, so caching across
         epochs is exact; for the random sampler each call resamples.
+        The cache is an LRU bounded by ``graph_cache_entries``
+        (``run_epoch`` keeps batch membership stable, so a bound of at
+        least batches-per-epoch yields a full hit rate from epoch 2 on);
+        ``train.graph_cache_hits`` / ``..._misses`` record its behavior.
         """
         if self.train_config.sampler == "random":
             return build_user_centric_graph(
                 self.ckg, list(users), depth=self.model_config.depth,
                 k=self.train_config.k, sampler="random", rng=self._rng)
         cached = self._graph_cache.get(users)
-        if cached is None:
-            cached = build_user_centric_graph(
-                self.ckg, list(users), depth=self.model_config.depth,
-                ppr_scores=self._ppr_rows(users),
-                k=self.train_config.k, sampler="ppr")
-            self._graph_cache[users] = cached
+        if cached is not None:
+            self._graph_cache.move_to_end(users)
+            self.graph_cache_hits += 1
+            telemetry.counter("train.graph_cache_hits")
+            return cached
+        cached = build_user_centric_graph(
+            self.ckg, list(users), depth=self.model_config.depth,
+            ppr_scores=self._ppr_rows(users),
+            k=self.train_config.k, sampler="ppr")
+        self.graph_cache_misses += 1
+        telemetry.counter("train.graph_cache_misses")
+        self._graph_cache[users] = cached
+        bound = max(1, int(self.train_config.graph_cache_entries))
+        while len(self._graph_cache) > bound:
+            self._graph_cache.popitem(last=False)
         return cached
 
     # ------------------------------------------------------------------
@@ -414,10 +502,12 @@ class KUCNetRecommender:
             return total
         users = list(users)
         k = self.train_config.k if mode == "pruned" else None
+        sampler = self.train_config.sampler
         graph = build_user_centric_graph(
             self.ckg, users, depth=self.model_config.depth,
-            ppr_scores=self._ppr_rows(users) if k is not None else None,
-            k=k, sampler="ppr" if k is not None else "ppr")
+            ppr_scores=(self._ppr_rows(users)
+                        if k is not None and sampler == "ppr" else None),
+            k=k, sampler=sampler, rng=self._rng)
         return graph.total_edges()
 
     @property
@@ -459,7 +549,9 @@ class KUCNetRecommender:
             train_dict["k"] = list(train_dict["k"])
         payload["config::train"] = np.frombuffer(
             json.dumps(train_dict).encode(), dtype=np.uint8)
-        np.savez(path, **payload)
+        # np.savez appends ".npz" when the path lacks it; normalize here
+        # so save("model") and load("model") agree on the on-disk name.
+        np.savez(_npz_path(path), **payload)
 
     @classmethod
     def load(cls, path: str, split: Split) -> "KUCNetRecommender":
@@ -470,6 +562,8 @@ class KUCNetRecommender:
         """
         import json
 
+        if not os.path.exists(path):
+            path = _npz_path(path)
         with np.load(path) as archive:
             model_config = json.loads(bytes(archive["config::model"].tobytes()))
             train_config = json.loads(bytes(archive["config::train"].tobytes()))
@@ -482,3 +576,29 @@ class KUCNetRecommender:
         recommender.prepare(split)
         recommender.model.load_state_dict(state)
         return recommender
+
+
+def _npz_path(path: str) -> str:
+    """The on-disk name ``np.savez`` produces for ``path``."""
+    return path if path.endswith(".npz") else path + ".npz"
+
+
+# ----------------------------------------------------------------------
+# Worker functions for the PPR precompute fan-out (module-level so the
+# process pool can import them by reference; see repro.parallel)
+# ----------------------------------------------------------------------
+
+def _ppr_push_chunk(context, chunk: np.ndarray):
+    """Forward-push one user chunk (same math as one serial chunk pass)."""
+    ckg, alpha, epsilon, top_m = context
+    return forward_push_batch(ckg, chunk, alpha=alpha, epsilon=epsilon,
+                              top_m=top_m, chunk_users=chunk.size)
+
+
+def _ppr_power_chunk(context, chunk: np.ndarray) -> np.ndarray:
+    """Power-iterate one user chunk against the shared adjacency."""
+    ckg, adjacency, alpha, iterations, tolerance = context
+    part = personalized_pagerank_batch(
+        ckg, chunk, alpha=alpha, iterations=iterations,
+        adjacency=adjacency, tolerance=tolerance)
+    return part.scores

@@ -8,12 +8,13 @@ and averaged over users.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Optional, Protocol, Sequence
+from typing import Dict, List, Optional, Protocol, Sequence, Tuple
 
 import numpy as np
 
 from .. import telemetry
 from ..data import Split
+from ..parallel import resolve_workers, run_parallel
 from .metrics import ndcg_at_n, rank_items, recall_at_n
 
 
@@ -41,10 +42,38 @@ class EvalResult:
                 f"ndcg@{self.n}={self.ndcg:.4f} ({self.num_users} users)")
 
 
+def _evaluate_batch(context, batch: Sequence[int]
+                    ) -> List[Tuple[int, float, float]]:
+    """Score and rank one user batch; returns (user, recall, ndcg) rows.
+
+    Module-level so :func:`repro.parallel.run_parallel` workers can run
+    it; the serial path calls it directly, so the two paths execute —
+    and instrument — the exact same code.
+    """
+    model, split, n = context
+    with telemetry.span("eval.score"):
+        scores = model.score_users(batch)
+    if scores.shape[0] != len(batch):
+        raise ValueError(
+            f"scorer returned {scores.shape[0]} rows for {len(batch)} users"
+        )
+    rows: List[Tuple[int, float, float]] = []
+    with telemetry.span("eval.rank"):
+        for row, user in enumerate(batch):
+            exclude = split.train.positives(user)
+            ranked = rank_items(scores[row], exclude, n)
+            relevant = split.test_positives[user]
+            rows.append((user, recall_at_n(ranked, relevant, n),
+                         ndcg_at_n(ranked, relevant, n)))
+    telemetry.counter("eval.users", len(batch))
+    return rows
+
+
 def evaluate(model: Scorer, split: Split, n: int = 20,
              batch_size: int = 64,
              max_users: Optional[int] = None,
-             seed: int = 0) -> EvalResult:
+             seed: int = 0,
+             num_workers: Optional[int] = None) -> EvalResult:
     """Evaluate ``model`` on ``split`` with the all-ranking protocol.
 
     Parameters
@@ -62,6 +91,13 @@ def evaluate(model: Scorer, split: Split, n: int = 20,
         benchmark runtime; ``None`` evaluates everyone.
     seed:
         Subsampling seed (only used when ``max_users`` is set).
+    num_workers:
+        Processes for batch-level fan-out (:mod:`repro.parallel`);
+        ``None`` defers to ``$REPRO_NUM_WORKERS`` and 1 keeps the plain
+        serial loop.  Users are scored per batch on both paths and
+        metrics are averaged in the same user order, so any
+        deterministic scorer (e.g. a PPR-sampler KUCNet) produces
+        bitwise-identical results at every worker count.
     """
     users = split.test_users
     if not users:
@@ -70,24 +106,22 @@ def evaluate(model: Scorer, split: Split, n: int = 20,
         rng = np.random.default_rng(seed)
         users = sorted(rng.choice(users, size=max_users, replace=False).tolist())
 
+    batches = [users[start:start + batch_size]
+               for start in range(0, len(users), batch_size)]
+    context = (model, split, n)
+    workers = resolve_workers(num_workers)
+    if workers > 1 and len(batches) > 1:
+        outputs = run_parallel(_evaluate_batch, batches, context=context,
+                               num_workers=workers, label="eval")
+    else:
+        outputs = [_evaluate_batch(context, batch) for batch in batches]
+
     per_user_recall: Dict[int, float] = {}
     per_user_ndcg: Dict[int, float] = {}
-    for start in range(0, len(users), batch_size):
-        batch = users[start:start + batch_size]
-        with telemetry.span("eval.score"):
-            scores = model.score_users(batch)
-        if scores.shape[0] != len(batch):
-            raise ValueError(
-                f"scorer returned {scores.shape[0]} rows for {len(batch)} users"
-            )
-        with telemetry.span("eval.rank"):
-            for row, user in enumerate(batch):
-                exclude = split.train.positives(user)
-                ranked = rank_items(scores[row], exclude, n)
-                relevant = split.test_positives[user]
-                per_user_recall[user] = recall_at_n(ranked, relevant, n)
-                per_user_ndcg[user] = ndcg_at_n(ranked, relevant, n)
-        telemetry.counter("eval.users", len(batch))
+    for rows in outputs:
+        for user, recall, ndcg in rows:
+            per_user_recall[user] = recall
+            per_user_ndcg[user] = ndcg
 
     return EvalResult(
         recall=float(np.mean(list(per_user_recall.values()))),

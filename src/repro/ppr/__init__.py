@@ -7,10 +7,10 @@ push of :mod:`.push` (same scores, sublinear per user, top-M storage).
 
 from .pagerank import (PPRScores, personalized_pagerank,
                        personalized_pagerank_batch, top_k_items_by_ppr)
-from .push import (PPRScoreLike, SparsePPRScores, forward_push_batch,
-                   sparsify_scores)
+from .push import (PPRScoreLike, SparsePPRScores, concat_sparse_scores,
+                   forward_push_batch, sparsify_scores)
 
 __all__ = ["personalized_pagerank", "personalized_pagerank_batch",
            "PPRScores", "top_k_items_by_ppr",
            "SparsePPRScores", "forward_push_batch", "sparsify_scores",
-           "PPRScoreLike"]
+           "concat_sparse_scores", "PPRScoreLike"]

@@ -352,5 +352,36 @@ def sparsify_scores(scores: np.ndarray, users: Sequence[int],
         residual=residual)
 
 
+def concat_sparse_scores(parts: Sequence[SparsePPRScores]) -> SparsePPRScores:
+    """Stack per-chunk score structures row-wise, in the given order.
+
+    The inverse of chunking a user population for fan-out: feeding the
+    per-chunk outputs of :func:`forward_push_batch` back through this in
+    chunk order yields arrays bitwise-identical to a single serial call
+    over the whole population (the solver processes chunks
+    independently, so the concatenated CSR arrays — and the residual
+    accumulated in the same float order — coincide exactly).
+    """
+    parts = list(parts)
+    if not parts:
+        raise ValueError("parts must be non-empty")
+    if len(parts) == 1:
+        return parts[0]
+    num_nodes = parts[0].num_nodes
+    if any(part.num_nodes != num_nodes for part in parts):
+        raise ValueError("parts disagree on num_nodes")
+    residual = 0.0
+    for part in parts:
+        residual += part.residual
+    lengths = np.concatenate([np.diff(part.indptr) for part in parts])
+    return SparsePPRScores(
+        users=np.concatenate([part.users for part in parts]),
+        num_nodes=num_nodes,
+        indptr=np.concatenate([[0], np.cumsum(lengths)]),
+        node_ids=np.concatenate([part.node_ids for part in parts]),
+        values=np.concatenate([part.values for part in parts]),
+        residual=residual)
+
+
 #: either PPR score backend, as accepted by the computation-graph pruner
 PPRScoreLike = Union[np.ndarray, SparsePPRScores]

@@ -20,12 +20,12 @@ from .manifest import RunManifest
 from .sinks import read_jsonl, split_records, summary_table, write_jsonl
 from .tracer import (MetricsRegistry, Span, counter, disable, enable,
                      enabled, gauge, get_registry, histogram, is_enabled,
-                     reset, span, timed)
+                     merge_snapshot, reset, span, timed)
 
 __all__ = [
     "Span", "MetricsRegistry", "RunManifest",
     "span", "counter", "gauge", "histogram", "timed",
     "enable", "disable", "is_enabled", "enabled",
-    "get_registry", "reset",
+    "get_registry", "reset", "merge_snapshot",
     "summary_table", "write_jsonl", "read_jsonl", "split_records",
 ]

@@ -41,6 +41,7 @@ __all__ = [
     "Span", "SpanStats", "CounterStats", "GaugeStats", "HistogramStats",
     "MetricsRegistry", "span", "counter", "gauge", "histogram", "timed",
     "enable", "disable", "is_enabled", "enabled", "get_registry", "reset",
+    "merge_snapshot",
 ]
 
 _F = TypeVar("_F", bound=Callable)
@@ -223,6 +224,58 @@ class MetricsRegistry:
             out.extend(snap[section][name] for name in sorted(snap[section]))
         return out
 
+    def merge_snapshot(self, snapshot: Dict[str, Dict[str, Dict[str, object]]]
+                       ) -> None:
+        """Fold another registry's :meth:`snapshot` into this one.
+
+        This is the parent-side half of the worker-telemetry contract
+        (:mod:`repro.parallel`): additive fields — counter totals and
+        update counts, span counts and inclusive/exclusive seconds,
+        histogram count/total — accumulate exactly, min/max fields take
+        the elementwise extremum, and gauges adopt the snapshot's value
+        (so merging worker snapshots in task order reproduces serial
+        last-write semantics).  Histogram percentile *samples* do not
+        cross the process boundary — count/sum/min/max of a merged
+        histogram stay exact, but ``percentile`` only reflects locally
+        observed values.
+        """
+        with self._lock:
+            for name, rec in snapshot.get("spans", {}).items():
+                stats = self.spans.get(name)
+                if stats is None:
+                    stats = self.spans[name] = SpanStats(name)
+                count = int(rec["count"])
+                stats.count += count
+                stats.total_seconds += float(rec["total_seconds"])
+                stats.exclusive_seconds += float(rec["exclusive_seconds"])
+                if count:
+                    stats.min_seconds = min(stats.min_seconds,
+                                            float(rec["min_seconds"]))
+                    stats.max_seconds = max(stats.max_seconds,
+                                            float(rec["max_seconds"]))
+            for name, rec in snapshot.get("counters", {}).items():
+                stats = self.counters.get(name)
+                if stats is None:
+                    stats = self.counters[name] = CounterStats(name)
+                stats.total += float(rec["total"])
+                stats.updates += int(rec["updates"])
+            for name, rec in snapshot.get("gauges", {}).items():
+                stats = self.gauges.get(name)
+                if stats is None:
+                    stats = self.gauges[name] = GaugeStats(name)
+                stats.value = float(rec["value"])
+                stats.updates += int(rec["updates"])
+            for name, rec in snapshot.get("histograms", {}).items():
+                stats = self.histograms.get(name)
+                if stats is None:
+                    stats = self.histograms[name] = HistogramStats(name)
+                count = int(rec["count"])
+                stats.count += count
+                stats.total += float(rec["total"])
+                if count:
+                    stats.minimum = min(stats.minimum, float(rec["min"]))
+                    stats.maximum = max(stats.maximum, float(rec["max"]))
+
     def is_empty(self) -> bool:
         with self._lock:
             return not (self.spans or self.counters or self.gauges
@@ -384,3 +437,9 @@ def histogram(name: str, value: float) -> None:
     """Record one observation into the named histogram (no-op when disabled)."""
     if STATE.enabled:
         _REGISTRY.observe(name, float(value))
+
+
+def merge_snapshot(snapshot) -> None:
+    """Merge a worker snapshot into the default registry (no-op when disabled)."""
+    if STATE.enabled:
+        _REGISTRY.merge_snapshot(snapshot)

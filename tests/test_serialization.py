@@ -96,6 +96,31 @@ class TestModelPersistence:
         with pytest.raises(RuntimeError):
             rec.save(str(tmp_path / "x.npz"))
 
+    def test_suffixless_path_roundtrips(self, split, tmp_path):
+        """Regression: ``save("model")`` wrote ``model.npz`` (np.savez
+        appends the suffix) while ``load("model")`` looked for the bare
+        name and raised FileNotFoundError."""
+        source = KUCNetRecommender(KUCNetConfig(dim=8, depth=3, seed=0),
+                                   TrainConfig(epochs=1, k=10, seed=0))
+        source.fit(split)
+        path = str(tmp_path / "model")
+        source.save(path)
+        assert (tmp_path / "model.npz").exists()
+
+        restored = KUCNetRecommender.load(path, split)
+        assert np.allclose(source.score_users([0, 1]),
+                           restored.score_users([0, 1]))
+
+    def test_suffix_mix_and_match(self, split, tmp_path):
+        """Either spelling on either side resolves to the same artifact."""
+        source = KUCNetRecommender(KUCNetConfig(dim=8, depth=3, seed=0),
+                                   TrainConfig(epochs=1, k=10, seed=0))
+        source.fit(split)
+        source.save(str(tmp_path / "weights.npz"))
+        restored = KUCNetRecommender.load(str(tmp_path / "weights"), split)
+        assert np.allclose(source.score_users([0]),
+                           restored.score_users([0]))
+
     def test_tuple_k_roundtrip(self, split, tmp_path):
         from repro.core import kucnet_adaptive
         source = kucnet_adaptive(KUCNetConfig(dim=8, depth=3, seed=0),

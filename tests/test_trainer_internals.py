@@ -4,6 +4,7 @@ import numpy as np
 import pytest
 
 from repro.core import KUCNetConfig, KUCNetRecommender, TrainConfig
+from repro.core.trainer import MAX_NEGATIVE_RESAMPLES
 from repro.data import lastfm_like, new_item_split, traditional_split
 
 
@@ -30,6 +31,46 @@ class TestGraphCache:
         second = rec._graph_for((0, 1, 2))
         assert first is not second
 
+    def test_cache_hits_across_epochs(self, split):
+        """Regression: epoch batches must reuse cached graphs.
+
+        Shuffling batch *membership* every epoch (the old behavior) made
+        every batch tuple unique, so the cache never hit and grew by one
+        graph per batch per epoch.  With stable membership, epoch 2
+        onward is all hits and the miss count equals the batch count.
+        """
+        rec = KUCNetRecommender(KUCNetConfig(dim=8, depth=2, seed=0),
+                                TrainConfig(epochs=30, k=5, batch_users=24,
+                                            seed=0))
+        rec.fit(split)
+        num_batches = rec.graph_cache_misses
+        users = split.train.users_with_interactions()
+        assert num_batches == int(np.ceil(len(users) / 24))
+        assert rec.graph_cache_hits == 29 * num_batches
+        assert len(rec._graph_cache) <= rec.train_config.graph_cache_entries
+
+    def test_cache_respects_tight_bound(self, split):
+        rec = KUCNetRecommender(
+            KUCNetConfig(dim=8, depth=2, seed=0),
+            TrainConfig(epochs=3, k=5, batch_users=24,
+                        graph_cache_entries=2, seed=0))
+        rec.fit(split)
+        assert len(rec._graph_cache) <= 2
+        # the bound forces re-builds, but never lets the cache grow
+        assert rec.graph_cache_misses >= 2
+
+    def test_lru_evicts_oldest_entry(self, split):
+        rec = KUCNetRecommender(
+            KUCNetConfig(dim=8, depth=2, seed=0),
+            TrainConfig(epochs=1, k=5, graph_cache_entries=2, seed=0))
+        rec.prepare(split)
+        first = rec._graph_for((0,))
+        rec._graph_for((1,))
+        rec._graph_for((0,))          # refresh (0,) so (1,) is oldest
+        rec._graph_for((2,))          # evicts (1,)
+        assert set(rec._graph_cache) == {(0,), (2,)}
+        assert rec._graph_for((0,)) is first
+
 
 class TestNegativePool:
     def test_negatives_only_from_training_items(self):
@@ -44,6 +85,59 @@ class TestNegativePool:
         _, pos_nodes, neg_nodes = rec._sample_pairs(users, split)
         assert set(neg_nodes.tolist()) <= train_nodes
         assert set(pos_nodes.tolist()) <= train_nodes
+
+    def test_saturated_pool_terminates_and_skips_user(self, split):
+        """Regression: a user whose positives cover the whole training
+        pool used to spin the rejection-resampling loop forever."""
+        rec = KUCNetRecommender(KUCNetConfig(dim=8, depth=2, seed=0),
+                                TrainConfig(epochs=1, k=5, pairs_per_user=4,
+                                            seed=0))
+        rec.prepare(split)
+        users = split.train.users_with_interactions()
+        user = int(users[0])
+        positives = np.asarray(sorted(split.train.positives(user)),
+                               dtype=np.int64)
+        rec._train_item_pool = positives      # every pooled item collides
+        with pytest.warns(RuntimeWarning, match="skipping the user"):
+            slots, pos_nodes, neg_nodes = rec._sample_pairs([user], split)
+        assert slots.size == 0
+        assert pos_nodes.size == 0 and neg_nodes.size == 0
+
+    def test_single_escape_item_found_by_set_difference(self, split):
+        """With exactly one valid negative in the pool, the capped loop
+        plus set-difference fallback must find it instead of hanging."""
+        rec = KUCNetRecommender(KUCNetConfig(dim=8, depth=2, seed=0),
+                                TrainConfig(epochs=1, k=5, pairs_per_user=4,
+                                            seed=0))
+        rec.prepare(split)
+        users = split.train.users_with_interactions()
+        user = int(users[0])
+        positives = np.asarray(sorted(split.train.positives(user)),
+                               dtype=np.int64)
+        pool = np.unique(split.train.items)
+        escapes = np.setdiff1d(pool, positives)
+        assert escapes.size > 0
+        escape = escapes[:1]
+        rec._train_item_pool = np.sort(np.concatenate([positives, escape]))
+        slots, _, neg_nodes = rec._sample_pairs([user], split)
+        assert slots.size == 4
+        assert (neg_nodes == rec.ckg.item_nodes[escape[0]]).all()
+
+    def test_normal_users_never_reach_the_cap(self, split):
+        """Sanity: the attempt cap is a pathology guard, not a behavior
+        change — ordinary pools resolve well within it."""
+        assert MAX_NEGATIVE_RESAMPLES >= 8
+        rec = KUCNetRecommender(KUCNetConfig(dim=8, depth=2, seed=0),
+                                TrainConfig(epochs=1, k=5, pairs_per_user=4,
+                                            seed=0))
+        rec.prepare(split)
+        users = split.train.users_with_interactions()[:16]
+        slots, pos_nodes, neg_nodes = rec._sample_pairs(users, split)
+        assert slots.size == 4 * len(users)
+        for slot, user in enumerate(users):
+            forbidden = rec.ckg.item_nodes[
+                np.asarray(sorted(split.train.positives(user)))]
+            assert not np.isin(neg_nodes[slots == slot], forbidden).any()
 
 
 class TestPPRNormalization:
@@ -95,6 +189,36 @@ class TestScoreOverrides:
         ui = rec.count_inference_edges(users, mode="ui")
         assert pruned <= full
         assert full < ui
+
+    def test_count_inference_edges_respects_random_sampler(self, split):
+        """Regression: the pruned-mode edge count always used the PPR
+        sampler (a dead ternary), so KUCNet-random's Fig. 6 bar measured
+        the wrong model.  The random sampler draws from ``self._rng``;
+        the PPR sampler never touches it — rng-state consumption is
+        therefore an exact probe for which sampler actually ran."""
+        random_rec = KUCNetRecommender(
+            KUCNetConfig(dim=8, depth=3, seed=0),
+            TrainConfig(epochs=1, k=5, sampler="random", seed=0))
+        random_rec.prepare(split)
+        before = random_rec._rng.bit_generator.state
+        random_rec.count_inference_edges([0, 1], mode="pruned")
+        assert random_rec._rng.bit_generator.state != before
+
+        ppr_rec = KUCNetRecommender(KUCNetConfig(dim=8, depth=3, seed=0),
+                                    TrainConfig(epochs=1, k=5, seed=0))
+        ppr_rec.prepare(split)
+        before = ppr_rec._rng.bit_generator.state
+        ppr_rec.count_inference_edges([0, 1], mode="pruned")
+        assert ppr_rec._rng.bit_generator.state == before
+
+    def test_count_inference_edges_random_sampler_varies(self, split):
+        rec = KUCNetRecommender(
+            KUCNetConfig(dim=8, depth=3, seed=0),
+            TrainConfig(epochs=1, k=5, sampler="random", seed=0))
+        rec.prepare(split)
+        counts = {rec.count_inference_edges([0, 1], mode="pruned")
+                  for _ in range(5)}
+        assert len(counts) > 1
 
     def test_ui_scoring_matches_for_reachable_items(self, split):
         """Per-pair U-I scoring must agree with user-centric scoring when

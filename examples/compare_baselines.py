@@ -11,6 +11,7 @@ Run:  python examples/compare_baselines.py
 
 import time
 
+from repro.analysis import learning_curves
 from repro.baselines import KGAT, KGIN, MF, BaselineConfig
 from repro.core import KUCNetConfig, KUCNetRecommender, TrainConfig
 from repro.data import lastfm_like, traditional_split
@@ -48,6 +49,14 @@ def main() -> None:
     print(f"\nbest method: {best}"
           + ("  (matches the paper's Table III on KG-rich data)"
              if best == "KUCNet" else ""))
+
+    # Every trainer now records the same EpochStats history, so the
+    # Fig. 4 learning curves come straight out of the fitted models.
+    histories = {
+        model.name: getattr(model, "history", None) or model.epoch_history
+        for model in contenders
+    }
+    print("\n" + learning_curves(histories))
 
 
 if __name__ == "__main__":

@@ -1,12 +1,12 @@
 """Analysis and diagnostics: graph statistics and terminal plots."""
 
-from .charts import ascii_bar_chart, ascii_curve
+from .charts import ascii_bar_chart, ascii_curve, learning_curves
 from .diagnostics import (computation_graph_stats, dataset_report,
                           degree_histogram, ppr_storage_report,
                           reach_statistics)
 
 __all__ = [
-    "ascii_curve", "ascii_bar_chart",
+    "ascii_curve", "ascii_bar_chart", "learning_curves",
     "degree_histogram", "computation_graph_stats", "reach_statistics",
     "ppr_storage_report", "dataset_report",
 ]

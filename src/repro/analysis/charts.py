@@ -61,3 +61,21 @@ def ascii_bar_chart(values: Dict[str, float], width: int = 50,
         bar = "#" * max(1, int(round(value / peak * width))) if value > 0 else ""
         lines.append(f"{name.ljust(name_width)} |{bar} {value:g}")
     return "\n".join(lines)
+
+
+def learning_curves(histories: Dict[str, Sequence], width: int = 60,
+                    height: int = 14) -> str:
+    """Fig. 4-style loss curves from per-trainer epoch histories.
+
+    ``histories`` maps a method name to its list of
+    :class:`~repro.engine.EpochStats` records — the canonical format
+    every trainer emits since the engine migration (``KUCNet.history``,
+    ``BPRModelRecommender.epoch_history``, ``LinkPredictor.history``).
+    Plots epoch loss against cumulative training seconds.
+    """
+    series = {
+        name: [(stats.cumulative_seconds, stats.loss) for stats in history]
+        for name, history in histories.items() if history
+    }
+    return ascii_curve(series, width=width, height=height,
+                       x_label="cumulative seconds", y_label="loss")

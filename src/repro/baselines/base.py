@@ -11,13 +11,14 @@ from __future__ import annotations
 
 from abc import ABC, abstractmethod
 from dataclasses import dataclass
-from typing import List, Optional, Sequence, Tuple
+from typing import List, Optional, Sequence
 
 import numpy as np
 
-from .. import telemetry
 from ..autodiff import Adam, Module, Tensor, bpr_loss
 from ..data import Split
+from ..engine import (BestCheckpoint, EarlyStopping, Engine, EpochCallback,
+                      EpochStats, History, ProgressLogger, TelemetryHook)
 
 
 @dataclass
@@ -31,6 +32,15 @@ class BaselineConfig:
     weight_decay: float = 1e-5
     seed: int = 0
     verbose: bool = False
+    #: stop when the epoch loss plateaus for this many epochs (``None``
+    #: disables) — the same §V-A3 rule KUCNet applies, via the shared
+    #: :class:`repro.engine.EarlyStopping` hook
+    patience: Optional[int] = None
+    #: minimum relative loss improvement that resets the patience counter
+    min_improvement: float = 1e-3
+    #: restore the best-loss epoch's parameters after training
+    #: (:class:`repro.engine.BestCheckpoint`)
+    restore_best: bool = False
 
 
 class Recommender(ABC):
@@ -65,8 +75,9 @@ class BPRModelRecommender(Recommender, Module, ABC):
         self.config = config or BaselineConfig()
         self.rng = np.random.default_rng(self.config.seed)
         self.split: Optional[Split] = None
+        self.optimizer: Optional[Adam] = None
         self.train_seconds = 0.0
-        self.epoch_history: List[Tuple[int, float, float]] = []  # (epoch, loss, cum s)
+        self.epoch_history: List[EpochStats] = []
 
     # ------------------------------------------------------------------
     @abstractmethod
@@ -91,8 +102,8 @@ class BPRModelRecommender(Recommender, Module, ABC):
         """
         self.split = split
         self.build(split)
-        optimizer = Adam(self.parameters(), lr=self.config.learning_rate,
-                         weight_decay=self.config.weight_decay)
+        self.optimizer = Adam(self.parameters(), lr=self.config.learning_rate,
+                              weight_decay=self.config.weight_decay)
         users = split.train.users
         items = split.train.items
         num_interactions = users.size
@@ -100,41 +111,48 @@ class BPRModelRecommender(Recommender, Module, ABC):
             raise ValueError("training split has no interactions")
         num_items = split.dataset.num_items
 
-        self.train()
-        cumulative = 0.0
-        for epoch in range(self.config.epochs):
-            with telemetry.span("train.epoch") as epoch_span:
-                order = self.rng.permutation(num_interactions)
-                losses = []
-                for start in range(0, num_interactions, self.config.batch_size):
-                    batch = order[start:start + self.config.batch_size]
-                    batch_users = users[batch]
-                    batch_pos = items[batch]
-                    batch_neg = self._sample_negatives(split, batch_users,
-                                                       num_items)
+        def batches(epoch: int):
+            order = self.rng.permutation(num_interactions)
+            return [order[start:start + self.config.batch_size]
+                    for start in range(0, num_interactions,
+                                       self.config.batch_size)]
 
-                    with telemetry.span("train.batch"):
-                        pos_scores = self.pair_scores(batch_users, batch_pos)
-                        neg_scores = self.pair_scores(batch_users, batch_neg)
-                        loss = bpr_loss(pos_scores, neg_scores)
-                        extra = self.extra_loss(batch_users, batch_pos,
-                                                batch_neg)
-                        if extra is not None:
-                            loss = loss + extra
+        def step(batch: np.ndarray) -> Tensor:
+            batch_users = users[batch]
+            batch_pos = items[batch]
+            batch_neg = self._sample_negatives(split, batch_users, num_items)
+            pos_scores = self.pair_scores(batch_users, batch_pos)
+            neg_scores = self.pair_scores(batch_users, batch_neg)
+            loss = bpr_loss(pos_scores, neg_scores)
+            extra = self.extra_loss(batch_users, batch_pos, batch_neg)
+            if extra is not None:
+                loss = loss + extra
+            return loss
 
-                        optimizer.zero_grad()
-                        loss.backward()
-                        optimizer.step()
-                    losses.append(loss.item())
-            cumulative += epoch_span.elapsed
-            self.epoch_history.append((epoch, float(np.mean(losses)), cumulative))
-            if self.config.verbose:
-                print(f"{self.name} epoch {epoch}: loss={np.mean(losses):.4f}")
-            if epoch_callback is not None:
+        history = History()
+        hooks = [TelemetryHook(), history]
+        if self.config.verbose:
+            hooks.append(ProgressLogger(prefix=self.name))
+        if epoch_callback is not None:
+            def adapter(stats: EpochStats) -> None:
+                # The legacy callback contract: model in eval mode, the
+                # (epoch, model, cumulative_seconds) signature.
                 self.eval()
-                epoch_callback(epoch, self, cumulative)
+                epoch_callback(stats.epoch, self, stats.cumulative_seconds)
                 self.train()
-        self.train_seconds = cumulative
+
+            hooks.append(EpochCallback(adapter))
+        if self.config.patience is not None:
+            hooks.append(EarlyStopping(patience=self.config.patience,
+                                       min_improvement=self.config.min_improvement))
+        if self.config.restore_best:
+            hooks.append(BestCheckpoint(self))
+
+        engine = Engine(self.optimizer, hooks=hooks)
+        self.epoch_history = history.stats
+        self.train()
+        engine.fit(step, batches, self.config.epochs)
+        self.train_seconds = engine.cumulative_seconds
         self.eval()
         return self
 

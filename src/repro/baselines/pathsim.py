@@ -25,6 +25,7 @@ import scipy.sparse as sp
 
 from ..autodiff import Adam, Parameter, Tensor, bpr_loss
 from ..data import Split
+from ..engine import Engine, EpochStats, History, TelemetryHook
 from .base import Recommender
 
 
@@ -48,6 +49,7 @@ class PathSim(Recommender):
         self._features: Optional[np.ndarray] = None  # (P, U, I)
         self.path_names: List[str] = []
         self.weights: Optional[Parameter] = None
+        self.history: List[EpochStats] = []
 
     # ------------------------------------------------------------------
     def fit(self, split: Split) -> "PathSim":
@@ -123,14 +125,17 @@ class PathSim(Recommender):
         """Fit non-negative path weights (via softplus) with BPR."""
         num_paths = self._features.shape[0]
         self.weights = Parameter(np.zeros(num_paths), name="path_weights")
-        optimizer = Adam([self.weights], lr=self.learning_rate)
 
         users = split.train.users
         items = split.train.items
         num_items = split.dataset.num_items
-        for _ in range(self.epochs):
-            batch = self.rng.integers(0, users.size,
-                                      size=min(self.batch_size, users.size))
+
+        def batches(epoch: int):
+            # One sampled interaction batch per epoch (SGD-style).
+            return [self.rng.integers(0, users.size,
+                                      size=min(self.batch_size, users.size))]
+
+        def step(batch: np.ndarray) -> Tensor:
             batch_users = users[batch]
             batch_pos = items[batch]
             batch_neg = self.rng.integers(0, num_items, size=batch.size)
@@ -138,11 +143,14 @@ class PathSim(Recommender):
             pos_feats = Tensor(self._features[:, batch_users, batch_pos].T)
             neg_feats = Tensor(self._features[:, batch_users, batch_neg].T)
             positive_weights = self.weights.softplus()
-            loss = bpr_loss(pos_feats @ positive_weights,
+            return bpr_loss(pos_feats @ positive_weights,
                             neg_feats @ positive_weights)
-            optimizer.zero_grad()
-            loss.backward()
-            optimizer.step()
+
+        history = History()
+        engine = Engine(Adam([self.weights], lr=self.learning_rate),
+                        hooks=[TelemetryHook(), history])
+        self.history = history.stats
+        engine.fit(step, batches, self.epochs)
 
     # ------------------------------------------------------------------
     def score_users(self, users: Sequence[int]) -> np.ndarray:

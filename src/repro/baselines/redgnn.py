@@ -65,5 +65,6 @@ class REDGNN(Recommender):
 
     @property
     def epoch_history(self):
-        return [(s.epoch, s.loss, s.cumulative_seconds)
-                for s in self._inner.history]
+        """Canonical :class:`~repro.engine.EpochStats` records (shared
+        format with every other trainer since the engine migration)."""
+        return list(self._inner.history)

@@ -247,7 +247,6 @@ def _build_ppr_push(scale: float, epsilon: float, top_m: int):
                 "batch_users": 24})
 def _build_train_epoch(scale: float, dim: int, depth: int, k: int,
                        batch_users: int):
-    from ..autodiff import Adam
     from ..core import KUCNetConfig, KUCNetRecommender, TrainConfig
     from ..data import PRESETS, traditional_split
 
@@ -257,8 +256,9 @@ def _build_train_epoch(scale: float, dim: int, depth: int, k: int,
     model = KUCNetRecommender(KUCNetConfig(dim=dim, depth=depth, seed=0),
                               config)
     model.prepare(split)
-    optimizer = Adam(model.model.parameters(), lr=config.learning_rate,
-                     weight_decay=config.weight_decay)
+    # The recommender's own optimizer factory: the bench epoch sees the
+    # exact hyper-parameters fit() would use, so the two cannot drift.
+    optimizer = model.make_optimizer()
     train_users = list(split.train.users_with_interactions())
 
     def run():

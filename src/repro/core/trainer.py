@@ -22,7 +22,7 @@ from __future__ import annotations
 import os
 import warnings
 from collections import OrderedDict
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable, List, Optional, Sequence, Tuple
 
 import numpy as np
@@ -30,6 +30,8 @@ import numpy as np
 from .. import telemetry
 from ..autodiff import Adam, bpr_loss
 from ..data import Split
+from ..engine import (EarlyStopping, Engine, EpochCallback, EpochStats,
+                      History, ProgressLogger, TelemetryHook)
 from ..graph import CollaborativeKG
 from ..parallel import chunk_sequence, resolve_workers, run_parallel
 from ..ppr import (PPRScoreLike, concat_sparse_scores, forward_push_batch,
@@ -106,16 +108,6 @@ class TrainConfig:
     min_improvement: float = 1e-3
 
 
-@dataclass
-class EpochStats:
-    """Per-epoch training telemetry (drives the Fig. 4 learning curves)."""
-
-    epoch: int
-    loss: float
-    seconds: float
-    cumulative_seconds: float
-
-
 class KUCNetRecommender:
     """End-to-end KUCNet: ``fit`` on a split, then ``score_users``.
 
@@ -135,6 +127,7 @@ class KUCNetRecommender:
         #: dense ``(num_users, num_nodes)`` ndarray (``ppr_method="power"``)
         #: or :class:`~repro.ppr.SparsePPRScores` (``"push"``)
         self.ppr_scores: Optional[PPRScoreLike] = None
+        self.optimizer: Optional[Adam] = None
         self.history: List[EpochStats] = []
         self.ppr_seconds: float = 0.0
         self._graph_cache: "OrderedDict[Tuple[int, ...], ComputationGraph]" = \
@@ -248,33 +241,31 @@ class KUCNetRecommender:
              callback: Optional[Callable[[EpochStats], None]]) -> "KUCNetRecommender":
         self.prepare(split)
         config = self.train_config
-        optimizer = Adam(self.model.parameters(), lr=config.learning_rate,
-                         weight_decay=config.weight_decay)
+        self.optimizer = self.make_optimizer()
 
         train_users = [user for user in split.train.users_with_interactions()]
-        self.history = []
-        cumulative = 0.0
-        best_loss = np.inf
-        stale_epochs = 0
-        for epoch in range(config.epochs):
-            loss, seconds = self.run_epoch(split, optimizer, train_users)
-            cumulative += seconds
-            stats = EpochStats(epoch=epoch, loss=loss,
-                               seconds=seconds, cumulative_seconds=cumulative)
-            self.history.append(stats)
-            if config.verbose:
-                print(f"epoch {epoch}: loss={stats.loss:.4f} ({seconds:.1f}s)")
-            if callback is not None:
-                callback(stats)
-            if config.patience is not None:
-                if stats.loss < best_loss * (1.0 - config.min_improvement):
-                    best_loss = stats.loss
-                    stale_epochs = 0
-                else:
-                    stale_epochs += 1
-                    if stale_epochs >= config.patience:
-                        break
+        history = History()
+        hooks = [TelemetryHook(), history]
+        if config.verbose:
+            hooks.append(ProgressLogger())
+        if callback is not None:
+            hooks.append(EpochCallback(callback))
+        if config.patience is not None:
+            hooks.append(EarlyStopping(patience=config.patience,
+                                       min_improvement=config.min_improvement))
+        engine = Engine(self.optimizer, hooks=hooks)
+        self.history = history.stats
+        engine.fit(step=lambda users: self._train_step(users, split),
+                   batches=lambda epoch: self._epoch_batches(train_users),
+                   epochs=config.epochs)
         return self
+
+    def make_optimizer(self) -> Adam:
+        """Adam configured from the train config (shared with benches)."""
+        if self.model is None:
+            raise RuntimeError("call prepare(split) before make_optimizer()")
+        return Adam(self.model.parameters(), lr=self.train_config.learning_rate,
+                    weight_decay=self.train_config.weight_decay)
 
     def run_epoch(self, split: Split, optimizer: Adam,
                   train_users: Optional[Sequence[int]] = None
@@ -287,47 +278,46 @@ class KUCNetRecommender:
         """
         if self.model is None:
             raise RuntimeError("call prepare(split) before run_epoch()")
-        config = self.train_config
         if train_users is None:
             train_users = list(split.train.users_with_interactions())
-        # Batches keep stable *membership* across epochs — only their
-        # order is shuffled.  Shuffling membership instead (one
-        # permutation over users per epoch) would make every epoch's
-        # batch tuples unique, so the per-batch graph cache of
-        # `_graph_for` would never hit and grow by one graph per batch
-        # per epoch, unbounded on long runs.
+        engine = Engine(optimizer, hooks=[TelemetryHook()])
+        stats = engine.run_epoch(
+            step=lambda users: self._train_step(users, split),
+            batches=lambda epoch: self._epoch_batches(train_users),
+            epoch=0)
+        return stats.loss, stats.seconds
+
+    def _epoch_batches(self, train_users: Sequence[int]) -> List[Tuple[int, ...]]:
+        """One epoch's user batches, permuted with the training RNG.
+
+        Batches keep stable *membership* across epochs — only their
+        order is shuffled.  Shuffling membership instead (one
+        permutation over users per epoch) would make every epoch's
+        batch tuples unique, so the per-batch graph cache of
+        `_graph_for` would never hit and grow by one graph per batch
+        per epoch, unbounded on long runs.
+        """
+        config = self.train_config
         batches = [tuple(train_users[start:start + config.batch_users])
                    for start in range(0, len(train_users), config.batch_users)]
-        with telemetry.span("train.epoch") as epoch_span:
-            order = self._rng.permutation(len(batches))
-            losses = []
-            for index in order:
-                loss_value = self._train_batch(batches[index], split, optimizer)
-                if loss_value is not None:
-                    losses.append(loss_value)
-        mean_loss = float(np.mean(losses)) if losses else 0.0
-        return mean_loss, epoch_span.elapsed
+        order = self._rng.permutation(len(batches))
+        return [batches[index] for index in order]
 
-    def _train_batch(self, users: Sequence[int], split: Split,
-                     optimizer: Adam) -> Optional[float]:
-        with telemetry.span("train.batch"):
-            graph = self._graph_for(tuple(users))
-            self.model.train()
-            with telemetry.span("train.forward"):
-                propagation = self.model.propagate(graph)
+    def _train_step(self, users: Sequence[int], split: Split):
+        """Loss for one user batch (the engine owns the optimizer cycle)."""
+        graph = self._graph_for(tuple(users))
+        self.model.train()
+        with telemetry.span("train.forward"):
+            propagation = self.model.propagate(graph)
 
-                slots, pos_nodes, neg_nodes = self._sample_pairs(users, split)
-                if slots.size == 0:
-                    return None
-                pos_scores = self.model.pair_scores(propagation, slots, pos_nodes)
-                neg_scores = self.model.pair_scores(propagation, slots, neg_nodes)
-                loss = bpr_loss(pos_scores, neg_scores)
-            telemetry.counter("train.pairs", slots.size)
-
-            optimizer.zero_grad()
-            loss.backward()
-            optimizer.step()
-            return loss.item()
+            slots, pos_nodes, neg_nodes = self._sample_pairs(users, split)
+            if slots.size == 0:
+                return None
+            pos_scores = self.model.pair_scores(propagation, slots, pos_nodes)
+            neg_scores = self.model.pair_scores(propagation, slots, neg_nodes)
+            loss = bpr_loss(pos_scores, neg_scores)
+        telemetry.counter("train.pairs", slots.size)
+        return loss
 
     def _sample_pairs(self, users: Sequence[int], split: Split):
         """Sample (slot, i+, i-) training triplets for a user batch.

@@ -1,0 +1,26 @@
+"""Callback-driven training engine shared by every trainer in the repo.
+
+One :class:`Engine` owns the epoch loop — batch production, loss
+computation via a per-model ``step`` function, and the
+``zero_grad/backward/step`` optimizer cycle — while cross-cutting
+concerns (history records, early stopping, best-epoch checkpointing,
+telemetry spans, verbose printing, user callbacks) attach as
+:class:`Hook` instances.  See ``docs/training-engine.md`` for the
+protocol and a worked example of adding a hook.
+
+Determinism contract: the engine consumes no randomness of its own.
+All RNG draws happen inside the model-supplied ``batches`` and ``step``
+callables, in the exact order the pre-engine hand-rolled loops made
+them, so fixed-seed loss trajectories are bitwise-identical to the
+historical ones (locked in by ``tests/test_golden_losses.py``).
+"""
+
+from .hooks import (BestCheckpoint, EarlyStopping, EpochCallback, History,
+                    Hook, ProgressLogger, TelemetryHook)
+from .loop import Engine, EpochStats
+
+__all__ = [
+    "Engine", "EpochStats",
+    "Hook", "History", "EarlyStopping", "BestCheckpoint",
+    "TelemetryHook", "ProgressLogger", "EpochCallback",
+]

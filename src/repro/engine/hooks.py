@@ -1,0 +1,206 @@
+"""Lifecycle hooks for the training :class:`~repro.engine.Engine`.
+
+A hook overrides any subset of the lifecycle methods on :class:`Hook`.
+Events per ``Engine.fit``::
+
+    on_fit_start
+      on_epoch_start(epoch)
+        on_batch_start(epoch, index)
+        on_batch_end(epoch, index, loss_value)   # loss_value None if skipped
+      on_epoch_end(stats: EpochStats)
+    on_fit_end
+    on_exception                                  # only if fit raised
+
+Hooks fire in the order they were passed to the engine; conventionally
+:class:`TelemetryHook` goes first so the ``train.epoch`` span closes
+before other hooks do their epoch-end work (callbacks that run an
+evaluation pass must not count against the epoch's span).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional
+
+import numpy as np
+
+from .. import telemetry
+from .loop import Engine, EpochStats
+
+
+class Hook:
+    """No-op base class; subclass and override the events you need."""
+
+    def on_fit_start(self, engine: Engine) -> None:
+        pass
+
+    def on_epoch_start(self, engine: Engine, epoch: int) -> None:
+        pass
+
+    def on_batch_start(self, engine: Engine, epoch: int, index: int) -> None:
+        pass
+
+    def on_batch_end(self, engine: Engine, epoch: int, index: int,
+                     loss: Optional[float]) -> None:
+        pass
+
+    def on_epoch_end(self, engine: Engine, stats: EpochStats) -> None:
+        pass
+
+    def on_fit_end(self, engine: Engine) -> None:
+        pass
+
+    def on_exception(self, engine: Engine) -> None:
+        pass
+
+
+class History(Hook):
+    """Accumulates the canonical :class:`EpochStats` records.
+
+    Trainers expose ``history_hook.stats`` (the same list object) as
+    their ``history`` / ``epoch_history`` attribute, so the records stay
+    live while training runs — epoch callbacks can inspect them.
+    """
+
+    def __init__(self):
+        self.stats = []
+
+    def on_fit_start(self, engine: Engine) -> None:
+        self.stats.clear()
+
+    def on_epoch_end(self, engine: Engine, stats: EpochStats) -> None:
+        self.stats.append(stats)
+
+
+class EarlyStopping(Hook):
+    """Loss-plateau early stopping (§V-A3's stopping rule).
+
+    Stops training when the epoch loss has not improved by at least a
+    ``min_improvement`` relative margin for ``patience`` consecutive
+    epochs.  Lifted out of ``KUCNetRecommender`` so every trainer gets
+    the same rule.
+    """
+
+    def __init__(self, patience: int, min_improvement: float = 1e-3):
+        if patience < 1:
+            raise ValueError("patience must be >= 1")
+        self.patience = patience
+        self.min_improvement = min_improvement
+        self.best_loss = np.inf
+        self.stale_epochs = 0
+
+    def on_fit_start(self, engine: Engine) -> None:
+        self.best_loss = np.inf
+        self.stale_epochs = 0
+
+    def on_epoch_end(self, engine: Engine, stats: EpochStats) -> None:
+        if stats.loss < self.best_loss * (1.0 - self.min_improvement):
+            self.best_loss = stats.loss
+            self.stale_epochs = 0
+        else:
+            self.stale_epochs += 1
+            if self.stale_epochs >= self.patience:
+                engine.request_stop()
+
+
+class BestCheckpoint(Hook):
+    """Snapshot the best-loss epoch's parameters; restore them at fit end.
+
+    ``module`` is anything with ``state_dict()`` / ``load_state_dict()``
+    (every :class:`repro.autodiff.Module`).  Snapshots are in-memory
+    parameter copies, so the hook is cheap at the repo's model sizes and
+    adds no file I/O to the loop.
+    """
+
+    def __init__(self, module):  # noqa: ANN001
+        self.module = module
+        self.best_loss = np.inf
+        self.best_epoch: Optional[int] = None
+        self._best_state: Optional[Dict[str, np.ndarray]] = None
+
+    def on_fit_start(self, engine: Engine) -> None:
+        self.best_loss = np.inf
+        self.best_epoch = None
+        self._best_state = None
+
+    def on_epoch_end(self, engine: Engine, stats: EpochStats) -> None:
+        if stats.loss < self.best_loss:
+            self.best_loss = stats.loss
+            self.best_epoch = stats.epoch
+            self._best_state = self.module.state_dict()
+
+    def on_fit_end(self, engine: Engine) -> None:
+        if self._best_state is not None:
+            self.module.load_state_dict(self._best_state)
+
+
+class TelemetryHook(Hook):
+    """Uniform ``train.epoch`` / ``train.batch`` spans for every trainer.
+
+    Also counts ``train.epochs``; span statistics (count, inclusive and
+    exclusive seconds) land in the process registry exactly as the
+    pre-engine per-trainer ``with telemetry.span(...)`` blocks did.
+    """
+
+    def __init__(self, epoch_span: str = "train.epoch",
+                 batch_span: str = "train.batch"):
+        self.epoch_span = epoch_span
+        self.batch_span = batch_span
+        self._epoch: Optional[telemetry.Span] = None
+        self._batch: Optional[telemetry.Span] = None
+
+    def on_epoch_start(self, engine: Engine, epoch: int) -> None:
+        self._epoch = telemetry.span(self.epoch_span)
+        self._epoch.__enter__()
+
+    def on_batch_start(self, engine: Engine, epoch: int, index: int) -> None:
+        self._batch = telemetry.span(self.batch_span)
+        self._batch.__enter__()
+
+    def on_batch_end(self, engine: Engine, epoch: int, index: int,
+                     loss: Optional[float]) -> None:
+        if self._batch is not None:
+            self._batch.__exit__(None, None, None)
+            self._batch = None
+
+    def on_epoch_end(self, engine: Engine, stats: EpochStats) -> None:
+        if self._epoch is not None:
+            self._epoch.__exit__(None, None, None)
+            self._epoch = None
+        telemetry.counter("train.epochs")
+
+    def on_exception(self, engine: Engine) -> None:
+        # Close dangling spans so the tracer stack stays balanced.
+        if self._batch is not None:
+            self._batch.__exit__(None, None, None)
+            self._batch = None
+        if self._epoch is not None:
+            self._epoch.__exit__(None, None, None)
+            self._epoch = None
+
+
+class ProgressLogger(Hook):
+    """Verbose per-epoch printing (the ``verbose=True`` code path)."""
+
+    def __init__(self, prefix: str = "", print_fn: Callable[[str], None] = print):
+        self.prefix = f"{prefix} " if prefix else ""
+        self.print_fn = print_fn
+
+    def on_epoch_end(self, engine: Engine, stats: EpochStats) -> None:
+        self.print_fn(f"{self.prefix}epoch {stats.epoch}: "
+                      f"loss={stats.loss:.4f} ({stats.seconds:.1f}s)")
+
+
+class EpochCallback(Hook):
+    """Adapter preserving the pre-engine ``epoch_callback`` APIs.
+
+    Wraps a ``callback(stats: EpochStats)`` callable.  Trainers whose
+    public API predates the engine (``KUCNetRecommender.fit(split,
+    callback=...)``, ``BPRModelRecommender.fit(split,
+    epoch_callback=...)``) build the adapting closure and hand it here.
+    """
+
+    def __init__(self, callback: Callable[[EpochStats], None]):
+        self.callback = callback
+
+    def on_epoch_end(self, engine: Engine, stats: EpochStats) -> None:
+        self.callback(stats)

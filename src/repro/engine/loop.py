@@ -1,0 +1,129 @@
+"""The training loop itself: :class:`Engine` and :class:`EpochStats`.
+
+The engine replaces the six hand-rolled epoch loops that used to live in
+``core/trainer.py``, ``baselines/base.py``, ``baselines/pathsim.py`` and
+the three ``linkpred`` trainers.  Per-model logic (negative sampling,
+pair scoring, auxiliary losses) stays in the model's ``step`` function;
+everything a loop shares — iteration, the optimizer cycle, epoch
+statistics, lifecycle hooks — lives here, once.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Any, Callable, Iterable, List, Optional, Sequence
+
+import numpy as np
+
+#: ``batches(epoch)`` produces the epoch's batches *in final order* —
+#: any shuffling (and the RNG draws it costs) belongs to the model.
+BatchesFn = Callable[[int], Iterable[Any]]
+#: ``step(batch)`` returns the batch loss as an autodiff tensor, or
+#: ``None`` to skip the batch (no optimizer update, no loss recorded).
+StepFn = Callable[[Any], Optional[Any]]
+
+
+@dataclass
+class EpochStats:
+    """Per-epoch training record (drives the Fig. 4 learning curves).
+
+    The one canonical history format: KUCNet, every BPR baseline, and
+    the link-prediction trainers all emit lists of these (they used to
+    disagree — bare ``(epoch, loss, seconds)`` tuples here, raw floats
+    there).
+    """
+
+    epoch: int
+    loss: float
+    seconds: float
+    cumulative_seconds: float
+
+
+class Engine:
+    """Runs ``epochs`` × ``batches`` × (``step`` → optimizer cycle).
+
+    Parameters
+    ----------
+    optimizer:
+        Any object with ``zero_grad()`` / ``step()`` (e.g.
+        :class:`repro.autodiff.Adam`).  The engine calls
+        ``zero_grad → loss.backward → step`` for every batch whose
+        ``step`` function returns a loss.
+    hooks:
+        :class:`~repro.engine.hooks.Hook` instances.  Lifecycle events
+        fire in list order; put :class:`TelemetryHook` first so its
+        spans close before other hooks run (keeping callback/eval work
+        outside the measured epoch, as the pre-engine loops did).
+    """
+
+    def __init__(self, optimizer, hooks: Sequence = ()):  # noqa: ANN001
+        self.optimizer = optimizer
+        self.hooks = list(hooks)
+        self.cumulative_seconds = 0.0
+        self._stop_requested = False
+
+    # ------------------------------------------------------------------
+    def request_stop(self) -> None:
+        """Stop after the current epoch (called by hooks, e.g.
+        :class:`~repro.engine.hooks.EarlyStopping`)."""
+        self._stop_requested = True
+
+    # ------------------------------------------------------------------
+    def fit(self, step: StepFn, batches: BatchesFn,
+            epochs: int) -> List[EpochStats]:
+        """Train for up to ``epochs`` epochs; returns the epoch records."""
+        self._stop_requested = False
+        self._fire("on_fit_start")
+        history: List[EpochStats] = []
+        try:
+            for epoch in range(epochs):
+                history.append(self.run_epoch(step, batches, epoch))
+                if self._stop_requested:
+                    break
+        except BaseException:
+            self._fire("on_exception")
+            raise
+        self._fire("on_fit_end")
+        return history
+
+    def run_epoch(self, step: StepFn, batches: BatchesFn,
+                  epoch: int) -> EpochStats:
+        """Run one epoch; usable standalone (the bench workloads do)."""
+        started = time.perf_counter()
+        self._fire("on_epoch_start", epoch)
+        losses: List[float] = []
+        for index, batch in enumerate(batches(epoch)):
+            self._fire("on_batch_start", epoch, index)
+            loss = step(batch)
+            value: Optional[float] = None
+            if loss is not None:
+                self.optimizer.zero_grad()
+                loss.backward()
+                self.optimizer.step()
+                value = loss.item()
+                losses.append(value)
+            self._fire("on_batch_end", epoch, index, value)
+        seconds = time.perf_counter() - started
+        self.cumulative_seconds += seconds
+        stats = EpochStats(
+            epoch=epoch,
+            loss=float(np.mean(losses)) if losses else 0.0,
+            seconds=seconds,
+            cumulative_seconds=self.cumulative_seconds)
+        self._fire("on_epoch_end", stats)
+        return stats
+
+    # ------------------------------------------------------------------
+    def _fire(self, event: str, *args) -> None:
+        if event == "on_exception":
+            # Best-effort unwind: every hook gets to clean up (close
+            # spans, release resources) even if another hook raises.
+            for hook in self.hooks:
+                try:
+                    getattr(hook, event)(self)
+                except Exception:
+                    pass
+            return
+        for hook in self.hooks:
+            getattr(hook, event)(self, *args)

@@ -22,6 +22,7 @@ import numpy as np
 
 from ..autodiff import (Adam, Embedding, Linear, Module, Parameter, Tensor,
                         gather_rows, log_sigmoid, segment_sum)
+from ..engine import Engine, EpochStats, History, TelemetryHook
 from ..graph import KnowledgeGraph
 from .trainer import RankingResult
 
@@ -167,6 +168,9 @@ class GNNLinkPredConfig:
     epochs: int = 15
     batch_size: int = 64
     learning_rate: float = 5e-3
+    #: L2-style decay on every parameter, matching ``LinkPredConfig``
+    #: (these loops used to construct Adam without any decay at all)
+    weight_decay: float = 1e-6
     num_negatives: int = 2
     seed: int = 0
 
@@ -183,8 +187,14 @@ class GNNLinkPredictor:
                              f"choose from {sorted(self.MODELS)}")
         self.rng = np.random.default_rng(self.config.seed)
         self.model = None
+        self.optimizer: Optional[Adam] = None
         self._known: Dict[Tuple[int, int], Set[int]] = {}
-        self.losses: List[float] = []
+        self.history: List[EpochStats] = []
+
+    @property
+    def losses(self) -> List[float]:
+        """Per-epoch mean losses (derived from :attr:`history`)."""
+        return [stats.loss for stats in self.history]
 
     def fit(self, kg: KnowledgeGraph,
             triplets: Optional[np.ndarray] = None) -> "GNNLinkPredictor":
@@ -205,28 +215,30 @@ class GNNLinkPredictor:
         for head, relation, tail in triplets:
             self._known.setdefault((int(head), int(relation)), set()).add(int(tail))
 
-        optimizer = Adam(self.model.parameters(), lr=config.learning_rate)
+        self.optimizer = Adam(self.model.parameters(), lr=config.learning_rate,
+                              weight_decay=config.weight_decay)
         num = triplets.shape[0]
-        self.losses = []
-        for _ in range(config.epochs):
+
+        def batches(epoch: int):
             order = self.rng.permutation(num)
-            epoch_losses = []
-            for start in range(0, num, config.batch_size):
-                batch = triplets[order[start:start + config.batch_size]]
-                loss_total = None
-                pos = self.model.score(batch[:, 0], batch[:, 1], batch[:, 2])
-                for _ in range(config.num_negatives):
-                    corrupted = self.rng.integers(0, kg.num_entities,
-                                                  size=batch.shape[0])
-                    neg = self.model.score(batch[:, 0], batch[:, 1], corrupted)
-                    term = -log_sigmoid(pos - neg).mean()
-                    loss_total = term if loss_total is None else loss_total + term
-                loss = loss_total * (1.0 / config.num_negatives)
-                optimizer.zero_grad()
-                loss.backward()
-                optimizer.step()
-                epoch_losses.append(loss.item())
-            self.losses.append(float(np.mean(epoch_losses)))
+            return [triplets[order[start:start + config.batch_size]]
+                    for start in range(0, num, config.batch_size)]
+
+        def step(batch: np.ndarray):
+            loss_total = None
+            pos = self.model.score(batch[:, 0], batch[:, 1], batch[:, 2])
+            for _ in range(config.num_negatives):
+                corrupted = self.rng.integers(0, kg.num_entities,
+                                              size=batch.shape[0])
+                neg = self.model.score(batch[:, 0], batch[:, 1], corrupted)
+                term = -log_sigmoid(pos - neg).mean()
+                loss_total = term if loss_total is None else loss_total + term
+            return loss_total * (1.0 / config.num_negatives)
+
+        history = History()
+        engine = Engine(self.optimizer, hooks=[TelemetryHook(), history])
+        self.history = history.stats
+        engine.fit(step, batches, config.epochs)
         return self
 
     def rank_tail(self, head: int, relation: int, tail: int) -> int:

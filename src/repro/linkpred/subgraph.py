@@ -24,6 +24,7 @@ from ..autodiff import Adam, Parameter, Tensor, gather_rows, log_sigmoid
 from ..autodiff import init as ad_init
 from ..core.layers import AttentionMessagePassing
 from ..core.model import KUCNet, KUCNetConfig
+from ..engine import Engine, EpochStats, History, TelemetryHook
 from ..graph import CollaborativeKG, KnowledgeGraph
 from ..sampling import build_user_centric_graph
 from .trainer import RankingResult
@@ -57,6 +58,9 @@ class SubgraphLinkPredConfig:
     epochs: int = 10
     batch_size: int = 64
     learning_rate: float = 5e-3
+    #: L2-style decay on every parameter, matching ``LinkPredConfig``
+    #: (this loop used to construct Adam without any decay at all)
+    weight_decay: float = 1e-6
     #: uniform per-node edge cap bounding the propagation graphs
     edge_cap: int = 30
     num_negatives: int = 2
@@ -72,8 +76,14 @@ class SubgraphLinkPredictor:
         self.graph: Optional[CollaborativeKG] = None
         self.layers: List[AttentionMessagePassing] = []
         self.readout: Optional[Parameter] = None
+        self.optimizer: Optional[Adam] = None
         self._known: Dict[Tuple[int, int], Set[int]] = {}
-        self.losses: List[float] = []
+        self.history: List[EpochStats] = []
+
+    @property
+    def losses(self) -> List[float]:
+        """Per-epoch mean losses (derived from :attr:`history`)."""
+        return [stats.loss for stats in self.history]
 
     # ------------------------------------------------------------------
     def fit(self, kg: KnowledgeGraph,
@@ -108,21 +118,24 @@ class SubgraphLinkPredictor:
 
         params = [p for layer in self.layers for p in layer.parameters()]
         params.append(self.readout)
-        optimizer = Adam(params, lr=config.learning_rate)
+        self.optimizer = Adam(params, lr=config.learning_rate,
+                              weight_decay=config.weight_decay)
 
         num = triplets.shape[0]
-        self.losses = []
-        for _ in range(config.epochs):
+
+        def batches(epoch: int):
             order = self.rng.permutation(num)
-            epoch_losses = []
-            for start in range(0, num, config.batch_size):
-                batch = triplets[order[start:start + config.batch_size]]
-                loss = self._train_batch(batch, optimizer)
-                epoch_losses.append(loss)
-            self.losses.append(float(np.mean(epoch_losses)))
+            return [triplets[order[start:start + config.batch_size]]
+                    for start in range(0, num, config.batch_size)]
+
+        history = History()
+        engine = Engine(self.optimizer, hooks=[TelemetryHook(), history])
+        self.history = history.stats
+        engine.fit(self._train_step, batches, config.epochs)
         return self
 
-    def _train_batch(self, batch: np.ndarray, optimizer: Adam) -> float:
+    def _train_step(self, batch: np.ndarray) -> Tensor:
+        """Loss for one triplet batch (the engine owns the optimizer cycle)."""
         config = self.config
         propagation = self._propagate(batch[:, 0])
         slots = np.arange(batch.shape[0], dtype=np.int64)
@@ -137,12 +150,7 @@ class SubgraphLinkPredictor:
                                            corrupted)
             term = -log_sigmoid(pos_scores - neg_scores).mean()
             total = term if total is None else total + term
-        loss = total * (1.0 / config.num_negatives)
-
-        optimizer.zero_grad()
-        loss.backward()
-        optimizer.step()
-        return loss.item()
+        return total * (1.0 / config.num_negatives)
 
     # ------------------------------------------------------------------
     def _propagate(self, heads: np.ndarray):

@@ -9,6 +9,7 @@ import numpy as np
 
 from .. import telemetry
 from ..autodiff import Adam, log_sigmoid
+from ..engine import Engine, EpochStats, History, TelemetryHook
 from ..graph import KnowledgeGraph
 from .scoring import SCORERS, TripletScorer
 
@@ -60,8 +61,14 @@ class LinkPredictor:
                 f"choose from {sorted(SCORERS)}")
         self.rng = np.random.default_rng(self.config.seed)
         self.model: Optional[TripletScorer] = None
+        self.optimizer: Optional[Adam] = None
         self._known: Dict[Tuple[int, int], Set[int]] = {}
-        self.losses: List[float] = []
+        self.history: List[EpochStats] = []
+
+    @property
+    def losses(self) -> List[float]:
+        """Per-epoch mean losses (derived from :attr:`history`)."""
+        return [stats.loss for stats in self.history]
 
     # ------------------------------------------------------------------
     def fit(self, kg: KnowledgeGraph,
@@ -81,30 +88,29 @@ class LinkPredictor:
         for head, relation, tail in triplets:
             self._known.setdefault((int(head), int(relation)), set()).add(int(tail))
 
-        optimizer = Adam(self.model.parameters(), lr=config.learning_rate,
-                         weight_decay=config.weight_decay)
+        self.optimizer = Adam(self.model.parameters(), lr=config.learning_rate,
+                              weight_decay=config.weight_decay)
         num = triplets.shape[0]
-        self.losses = []
-        for _ in range(config.epochs):
-            with telemetry.span("train.epoch"):
-                order = self.rng.permutation(num)
-                epoch_losses = []
-                for start in range(0, num, config.batch_size):
-                    batch = triplets[order[start:start + config.batch_size]]
-                    repeated = np.repeat(batch, config.num_negatives, axis=0)
-                    corrupted = self.rng.integers(
-                        0, kg.num_entities, size=repeated.shape[0])
-                    with telemetry.span("train.batch"):
-                        true_scores = self.model.score(
-                            repeated[:, 0], repeated[:, 1], repeated[:, 2])
-                        false_scores = self.model.score(
-                            repeated[:, 0], repeated[:, 1], corrupted)
-                        loss = -log_sigmoid(true_scores - false_scores).mean()
-                        optimizer.zero_grad()
-                        loss.backward()
-                        optimizer.step()
-                    epoch_losses.append(loss.item())
-                self.losses.append(float(np.mean(epoch_losses)))
+
+        def batches(epoch: int):
+            order = self.rng.permutation(num)
+            return [triplets[order[start:start + config.batch_size]]
+                    for start in range(0, num, config.batch_size)]
+
+        def step(batch: np.ndarray):
+            repeated = np.repeat(batch, config.num_negatives, axis=0)
+            corrupted = self.rng.integers(
+                0, kg.num_entities, size=repeated.shape[0])
+            true_scores = self.model.score(
+                repeated[:, 0], repeated[:, 1], repeated[:, 2])
+            false_scores = self.model.score(
+                repeated[:, 0], repeated[:, 1], corrupted)
+            return -log_sigmoid(true_scores - false_scores).mean()
+
+        history = History()
+        engine = Engine(self.optimizer, hooks=[TelemetryHook(), history])
+        self.history = history.stats
+        engine.fit(step, batches, config.epochs)
         return self
 
     # ------------------------------------------------------------------

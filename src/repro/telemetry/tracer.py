@@ -18,7 +18,7 @@ module provides it:
 
 Telemetry is **off by default**.  Disabled spans still measure their own
 wall time (so callers can read ``span.elapsed`` for derived statistics
-like :class:`~repro.core.trainer.EpochStats`) but touch neither the
+like :class:`~repro.engine.EpochStats`) but touch neither the
 span stack nor the registry; disabled counters return after a single
 flag check.  The overhead budget when disabled is <2% on the
 ``bench_engine_ops.py`` microbenchmarks.

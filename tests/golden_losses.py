@@ -1,0 +1,83 @@
+"""Golden fixed-seed training-loss trajectories (the engine's safety net).
+
+The callback-driven :mod:`repro.engine` replaced six hand-rolled epoch
+loops.  The bar for that migration — and for any future change to the
+engine — is *bitwise determinism*: at a fixed seed the per-epoch losses
+must be identical to the trajectories the pre-engine loops produced.
+Those trajectories are recorded in ``tests/fixtures/golden_losses.json``
+and asserted exactly (``==`` on the JSON round-tripped floats) by
+``tests/test_golden_losses.py``.
+
+One trainer per former loop family is pinned:
+
+* ``kucnet`` — :class:`repro.core.KUCNetRecommender` (the §IV-D loop);
+* ``mf`` — :class:`repro.baselines.MF`, standing in for every
+  BPR-trained baseline that shares ``BPRModelRecommender``'s loop;
+* ``transe`` — :class:`repro.linkpred.LinkPredictor`, standing in for
+  the triplet-ranking loops.
+
+Regenerate (only when an *intentional* numerical change lands)::
+
+    PYTHONPATH=src:. python -m tests.golden_losses
+
+and say in the commit message why the trajectories moved.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+
+FIXTURE_PATH = os.path.join(os.path.dirname(__file__), "fixtures",
+                            "golden_losses.json")
+
+
+def compute_golden_losses() -> dict:
+    """Train the three pinned configurations; return per-epoch losses."""
+    import numpy as np
+
+    from repro.baselines import MF, BaselineConfig
+    from repro.core import KUCNetConfig, KUCNetRecommender, TrainConfig
+    from repro.data import lastfm_like, traditional_split
+    from repro.linkpred import LinkPredConfig, LinkPredictor, split_triplets
+
+    split = traditional_split(lastfm_like(seed=0, scale=0.25), seed=0)
+
+    kucnet = KUCNetRecommender(
+        KUCNetConfig(dim=8, depth=3, seed=0),
+        TrainConfig(epochs=3, k=10, batch_users=16, seed=0))
+    kucnet.fit(split)
+
+    mf = MF(BaselineConfig(dim=8, epochs=3, batch_size=128, seed=0))
+    mf.fit(split)
+
+    kg = split.dataset.kg
+    train_triplets, _ = split_triplets(kg, test_fraction=0.2, seed=0)
+    transe = LinkPredictor(LinkPredConfig(scorer="transe", dim=8, epochs=3,
+                                          batch_size=128, seed=0))
+    transe.fit(kg, train_triplets)
+
+    return {
+        "kucnet": [float(stats.loss) for stats in kucnet.history],
+        "mf": [float(stats.loss) for stats in mf.epoch_history],
+        "transe": [float(stats.loss) for stats in transe.history],
+    }
+
+
+def load_golden_losses() -> dict:
+    with open(FIXTURE_PATH) as handle:
+        return json.load(handle)
+
+
+def main() -> None:
+    losses = compute_golden_losses()
+    with open(FIXTURE_PATH, "w") as handle:
+        json.dump(losses, handle, indent=2)
+        handle.write("\n")
+    print(f"wrote {FIXTURE_PATH}")
+    for name, values in losses.items():
+        print(f"  {name}: {values}")
+
+
+if __name__ == "__main__":
+    main()

@@ -58,10 +58,54 @@ class TestBPRLoop:
         assert model.train_seconds > 0
         assert len(model.epoch_history) == 2
         # cumulative time is non-decreasing
-        times = [t for _, _, t in model.epoch_history]
+        times = [stats.cumulative_seconds for stats in model.epoch_history]
         assert times == sorted(times)
 
     def test_eval_mode_after_fit(self):
         split = traditional_split(lastfm_like(seed=0, scale=0.2), seed=0)
         model = MF(BaselineConfig(dim=4, epochs=1, seed=0)).fit(split)
         assert not model.training
+
+
+class TestEngineHooksOnBaselines:
+    """Early stopping + best-checkpoint restore, now shared via repro.engine
+    (they used to be KUCNet-only features)."""
+
+    def _split(self):
+        return traditional_split(lastfm_like(seed=0, scale=0.2), seed=0)
+
+    def test_baseline_stops_on_loss_plateau(self):
+        split = self._split()
+        # min_improvement=0.5 demands the loss *halve* every epoch —
+        # impossible — so the run stops after 1 + patience epochs.
+        config = BaselineConfig(dim=4, epochs=30, seed=0,
+                                patience=2, min_improvement=0.5)
+        model = MF(config).fit(split)
+        assert len(model.epoch_history) == 3
+        assert model.epoch_history[-1].epoch == 2
+
+    def test_baseline_restores_best_epoch(self):
+        split = self._split()
+        snapshots = []
+        config = BaselineConfig(dim=4, epochs=6, learning_rate=2.0, seed=0,
+                                restore_best=True)
+        model = MF(config)
+        model.fit(split, epoch_callback=lambda epoch, m, t: snapshots.append(
+            (m.epoch_history[-1].loss, m.state_dict())))
+        best_loss, best_state = min(snapshots, key=lambda pair: pair[0])
+        for name, value in model.state_dict().items():
+            np.testing.assert_array_equal(value, best_state[name])
+        # an absurd learning rate makes the last epoch worse than the
+        # best one, so the restore actually rewound parameters
+        assert snapshots[-1][0] > best_loss
+
+    def test_baseline_emits_train_epoch_spans(self):
+        from repro import telemetry
+
+        split = self._split()
+        with telemetry.enabled():
+            telemetry.reset()
+            MF(BaselineConfig(dim=4, epochs=2, seed=0)).fit(split)
+            snapshot = telemetry.get_registry().snapshot()
+        assert snapshot["spans"]["train.epoch"]["count"] == 2
+        assert snapshot["counters"]["train.epochs"]["total"] == 2

@@ -39,7 +39,7 @@ class TestAllBaselinesContract:
                              ids=[m.name for m in EMBEDDING_MODELS])
     def test_training_reduces_loss(self, split, model_cls):
         model = model_cls(FAST).fit(split)
-        losses = [loss for _, loss, _ in model.epoch_history]
+        losses = [stats.loss for stats in model.epoch_history]
         assert losses[-1] <= losses[0]
 
     @pytest.mark.parametrize("model_cls", EMBEDDING_MODELS,

@@ -30,7 +30,7 @@ class TestContract:
                              ids=list(EXTRA_BASELINES))
     def test_loss_decreases(self, split, model_cls):
         model = model_cls(FAST).fit(split)
-        losses = [loss for _, loss, _ in model.epoch_history]
+        losses = [stats.loss for stats in model.epoch_history]
         assert losses[-1] <= losses[0]
 
     @pytest.mark.parametrize("model_cls", list(EXTRA_BASELINES.values()),

@@ -1,0 +1,36 @@
+"""Golden-loss determinism guard for the repro.engine migration.
+
+The fixtures in ``tests/fixtures/golden_losses.json`` were recorded from
+the pre-engine hand-rolled loops; the engine-backed trainers must
+reproduce them *bitwise* (exact ``==``, no tolerance).  If one of these
+tests fails, a change altered either the training math or the RNG
+consumption order of a migrated loop — see ``tests/golden_losses.py``
+for the pinned configurations and the regeneration procedure.
+"""
+
+import pytest
+
+from .golden_losses import compute_golden_losses, load_golden_losses
+
+
+@pytest.fixture(scope="module")
+def trajectories():
+    return compute_golden_losses()
+
+
+@pytest.fixture(scope="module")
+def golden():
+    return load_golden_losses()
+
+
+@pytest.mark.parametrize("trainer", ["kucnet", "mf", "transe"])
+def test_per_epoch_losses_bitwise_identical(trajectories, golden, trainer):
+    assert trajectories[trainer] == golden[trainer], (
+        f"{trainer}: fixed-seed per-epoch losses diverged from the "
+        "pre-engine trajectory — the engine migration contract is "
+        "bitwise determinism")
+
+
+def test_fixture_covers_all_three_loop_families(golden):
+    assert set(golden) == {"kucnet", "mf", "transe"}
+    assert all(len(losses) == 3 for losses in golden.values())

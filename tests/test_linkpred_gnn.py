@@ -99,3 +99,60 @@ class TestGNNLinkPredictor:
     def test_rank_before_fit_raises(self):
         with pytest.raises(RuntimeError):
             GNNLinkPredictor().rank_tail(0, 0, 1)
+
+
+class TestWeightDecayThreading:
+    """Regression: the GNN loops used to build Adam with no decay at all."""
+
+    def test_gnn_default_matches_linkpred_config(self, kg):
+        from repro.linkpred import LinkPredConfig
+
+        assert GNNLinkPredConfig().weight_decay == LinkPredConfig().weight_decay
+
+    def test_gnn_optimizer_sees_configured_value(self, kg):
+        config = GNNLinkPredConfig(model="compgcn", dim=4, num_layers=1,
+                                   epochs=1, batch_size=16,
+                                   weight_decay=3e-4, seed=0)
+        predictor = GNNLinkPredictor(config).fit(kg)
+        assert predictor.optimizer.weight_decay == 3e-4
+
+    def test_gnn_optimizer_sees_default(self, kg):
+        config = GNNLinkPredConfig(model="compgcn", dim=4, num_layers=1,
+                                   epochs=1, batch_size=16, seed=0)
+        predictor = GNNLinkPredictor(config).fit(kg)
+        assert predictor.optimizer.weight_decay == 1e-6
+
+    def test_subgraph_optimizer_sees_configured_value(self, kg):
+        from repro.linkpred import (SubgraphLinkPredConfig,
+                                    SubgraphLinkPredictor)
+
+        config = SubgraphLinkPredConfig(dim=4, depth=2, epochs=1,
+                                        batch_size=16, weight_decay=2e-5,
+                                        seed=0)
+        predictor = SubgraphLinkPredictor(config).fit(kg)
+        assert predictor.optimizer.weight_decay == 2e-5
+        assert SubgraphLinkPredConfig().weight_decay == 1e-6
+
+
+class TestEngineHistory:
+    def test_gnn_history_is_epoch_stats(self, kg):
+        from repro.engine import EpochStats
+
+        config = GNNLinkPredConfig(model="compgcn", dim=4, num_layers=1,
+                                   epochs=2, batch_size=16, seed=0)
+        predictor = GNNLinkPredictor(config).fit(kg)
+        assert len(predictor.history) == 2
+        assert all(isinstance(s, EpochStats) for s in predictor.history)
+        assert predictor.losses == [s.loss for s in predictor.history]
+
+    def test_gnn_emits_train_epoch_spans(self, kg):
+        from repro import telemetry
+
+        config = GNNLinkPredConfig(model="compgcn", dim=4, num_layers=1,
+                                   epochs=2, batch_size=16, seed=0)
+        with telemetry.enabled():
+            telemetry.reset()
+            GNNLinkPredictor(config).fit(kg)
+            snapshot = telemetry.get_registry().snapshot()
+        assert snapshot["spans"]["train.epoch"]["count"] == 2
+        assert snapshot["spans"]["train.batch"]["count"] > 0

@@ -19,6 +19,7 @@ from ..autodiff import Adam, Module, Tensor, bpr_loss
 from ..data import Split
 from ..engine import (BestCheckpoint, EarlyStopping, Engine, EpochCallback,
                       EpochStats, History, ProgressLogger, TelemetryHook)
+from ..health import HealthConfig, HealthHook, HealthMonitor
 
 
 @dataclass
@@ -41,6 +42,11 @@ class BaselineConfig:
     #: restore the best-loss epoch's parameters after training
     #: (:class:`repro.engine.BestCheckpoint`)
     restore_best: bool = False
+    #: training-health monitoring (:mod:`repro.health`): ``None`` is off;
+    #: ``"warn"``/``"raise"`` attach a :class:`~repro.health.HealthHook`
+    #: with that escalation policy (monitor lands on
+    #: ``self.health_monitor`` after ``fit``)
+    health_policy: Optional[str] = None
 
 
 class Recommender(ABC):
@@ -76,6 +82,8 @@ class BPRModelRecommender(Recommender, Module, ABC):
         self.rng = np.random.default_rng(self.config.seed)
         self.split: Optional[Split] = None
         self.optimizer: Optional[Adam] = None
+        #: populated when ``config.health_policy`` is set
+        self.health_monitor: Optional[HealthMonitor] = None
         self.train_seconds = 0.0
         self.epoch_history: List[EpochStats] = []
 
@@ -131,6 +139,10 @@ class BPRModelRecommender(Recommender, Module, ABC):
 
         history = History()
         hooks = [TelemetryHook(), history]
+        if self.config.health_policy is not None:
+            self.health_monitor = HealthMonitor(
+                HealthConfig(policy=self.config.health_policy))
+            hooks.append(HealthHook(self.health_monitor, module=self))
         if self.config.verbose:
             hooks.append(ProgressLogger(prefix=self.name))
         if epoch_callback is not None:

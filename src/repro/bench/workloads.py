@@ -318,6 +318,73 @@ def _build_parallel_ppr_workers(scale: float, num_workers: int,
                                chunk_users)
 
 
+def _build_telemetry_loop(spans: int, dim: int, events: bool):
+    """Shared factory for the aggregate-only/flight-recorder span pair.
+
+    Each run executes the same triple-nested span loop around a fixed
+    matrix product (a stand-in for the real work spans wrap — an empty
+    span body would measure nothing but the recorder itself), with
+    aggregate telemetry force-enabled (overriding the harness's
+    disabled timed repeats: the *enabled* hot path is the thing being
+    measured).  The events arm additionally installs a flight-recorder
+    ring buffer, so the median wall-time ratio between the two arms is
+    the event-capture overhead — the flight-recorder contract keeps it
+    under a few percent; it also records
+    ``telemetry.events.captured`` — a deterministic function of the
+    loop shape — as a strict counter gate.
+    """
+    from .. import telemetry
+
+    rng = np.random.default_rng(0)
+    left = rng.normal(size=(dim, dim))
+    right = rng.normal(size=(dim, dim))
+
+    def loop():
+        for _ in range(spans):
+            with telemetry.span("telemetry.unit.outer"):
+                with telemetry.span("telemetry.unit.mid"):
+                    with telemetry.span("telemetry.unit.inner"):
+                        np.dot(left, right)
+
+    if not events:
+        def run():
+            with telemetry.enabled(True):
+                loop()
+
+        return run
+
+    def run():
+        # capture_events (not enable/disable_events) so an outer
+        # flight recording — e.g. `repro trace -- bench run` — is
+        # restored rather than clobbered when this arm finishes.
+        with telemetry.capture_events() as log:
+            loop()
+        with telemetry.enabled(True):
+            telemetry.counter("telemetry.events.captured",
+                              len(log) + log.dropped)
+
+    return run
+
+
+@register("telemetry.spans",
+          "triple-nested spans around a fixed matrix product, aggregate "
+          "registry only (the flight-recorder overhead baseline)",
+          quick={"spans": 300, "dim": 192, "events": False},
+          full={"spans": 2_000, "dim": 256, "events": False})
+def _build_telemetry_spans(spans: int, dim: int, events: bool):
+    return _build_telemetry_loop(spans, dim, events)
+
+
+@register("telemetry.events",
+          "same span loop with flight-recorder event capture; the wall "
+          "ratio vs telemetry.spans is the capture overhead and "
+          "telemetry.events.captured is a strict deterministic gate",
+          quick={"spans": 300, "dim": 192, "events": True},
+          full={"spans": 2_000, "dim": 256, "events": True})
+def _build_telemetry_events(spans: int, dim: int, events: bool):
+    return _build_telemetry_loop(spans, dim, events)
+
+
 @register("eval.rank",
           "all-ranking evaluation of a trained model (recall/ndcg@20)",
           quick={"scale": 0.3, "dim": 16, "depth": 2, "k": 10,

@@ -6,7 +6,9 @@ Usage::
     python -m repro run table3 [--profile quick|full] [--output DIR] [--workers N]
     python -m repro datasets --output DIR [--scale 1.0]
     python -m repro profile [--dataset NAME] [--sink table|jsonl] [--out FILE]
-                            [--workers N]
+                            [--workers N] [--trace-out FILE] [--flame-out FILE]
+                            [--health-policy warn|raise] [--health-out FILE]
+    python -m repro trace --out trace.json [--flame flame.txt] -- CMD...
     python -m repro bench run [--suite quick|full] [--out FILE] [--workers N]
     python -m repro bench compare BASELINE CANDIDATE
     python -m repro bench report DIR [--out FILE]
@@ -18,7 +20,9 @@ train/eval pass and dumps the telemetry (see ``docs/observability.md``);
 ``bench`` is the performance-regression observatory — it times the
 registered workloads into a ``BENCH_*.json`` artifact, gates a candidate
 dump against a baseline, and renders trend reports
-(see ``docs/benchmarking.md``).
+(see ``docs/benchmarking.md``); ``trace`` flight-records any other
+``repro`` command into a Chrome/Perfetto trace and an optional
+folded-stack flamegraph (see ``docs/observability.md``).
 """
 
 from __future__ import annotations
@@ -26,6 +30,11 @@ from __future__ import annotations
 import argparse
 import sys
 from typing import List, Optional
+
+
+def _default_event_capacity() -> int:
+    from .telemetry import DEFAULT_EVENT_CAPACITY
+    return DEFAULT_EVENT_CAPACITY
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -80,6 +89,34 @@ def build_parser() -> argparse.ArgumentParser:
                          help="output format: human-readable table or JSONL")
     profile.add_argument("--out", default=None,
                          help="output path (required for --sink jsonl)")
+    profile.add_argument("--trace-out", default=None, metavar="FILE",
+                         help="flight-record the run and write a "
+                              "Chrome/Perfetto trace JSON here")
+    profile.add_argument("--flame-out", default=None, metavar="FILE",
+                         help="also write a folded-stack flamegraph "
+                              "(requires --trace-out)")
+    profile.add_argument("--health-policy", default=None,
+                         choices=["warn", "raise"],
+                         help="enable training-health monitoring with "
+                              "this escalation policy")
+    profile.add_argument("--health-out", default=None, metavar="FILE",
+                         help="write telemetry + health records as JSONL "
+                              "here (implies --health-policy warn)")
+
+    trace = commands.add_parser(
+        "trace",
+        help="flight-record another repro command into a Chrome trace")
+    trace.add_argument("--out", default="trace.json", metavar="FILE",
+                       help="Chrome trace-event JSON path "
+                            "(default trace.json)")
+    trace.add_argument("--flame", default=None, metavar="FILE",
+                       help="also write folded-stack flamegraph text here")
+    trace.add_argument("--capacity", type=int, default=None,
+                       help="event ring-buffer capacity "
+                            "(default %d)" % _default_event_capacity())
+    trace.add_argument("cmd", nargs=argparse.REMAINDER,
+                       help="the repro command to record, e.g. "
+                            "'profile --epochs 1' or 'bench run'")
 
     bench = commands.add_parser(
         "bench",
@@ -177,6 +214,9 @@ def main(argv: Optional[List[str]] = None) -> int:
     if args.command == "profile":
         return _run_profile(args)
 
+    if args.command == "trace":
+        return _run_trace(args)
+
     if args.command == "bench":
         return _run_bench(args)
 
@@ -188,8 +228,50 @@ def main(argv: Optional[List[str]] = None) -> int:
     return 2
 
 
+def _run_trace(args: argparse.Namespace) -> int:
+    """``repro trace``: flight-record another repro command.
+
+    Re-enters :func:`main` with the remainder arguments inside
+    :func:`repro.telemetry.capture_events`, then exports the captured
+    event log as a Chrome/Perfetto trace (and, optionally, folded-stack
+    flamegraph text).  The inner command's exit code is passed through.
+    """
+    from . import telemetry
+
+    cmd = list(args.cmd)
+    if cmd and cmd[0] == "--":      # `repro trace --out t.json -- profile`
+        cmd = cmd[1:]
+    if not cmd:
+        print("repro trace: no command to record "
+              "(usage: repro trace --out trace.json -- profile ...)",
+              file=sys.stderr)
+        return 2
+    if cmd[0] == "trace":
+        print("repro trace: refusing to nest trace inside trace",
+              file=sys.stderr)
+        return 2
+    if telemetry.events_enabled():
+        print("repro trace: an event log is already installed "
+              "(nested flight recording)", file=sys.stderr)
+        return 2
+
+    capacity = args.capacity or _default_event_capacity()
+    with telemetry.capture_events(capacity) as log:
+        code = main(cmd)
+    events = telemetry.write_chrome_trace(args.out, log,
+                                          metadata={"cmd": cmd})
+    print(f"[trace {args.out}: {events} trace events, "
+          f"{log.dropped} dropped, {len(log.lanes())} lane(s)]",
+          file=sys.stderr)
+    if args.flame:
+        lines = telemetry.write_folded_stacks(args.flame, log)
+        print(f"[flame {args.flame}: {lines} stacks]", file=sys.stderr)
+    return code
+
+
 def _run_profile(args: argparse.Namespace) -> int:
     """``repro profile``: instrumented fit + evaluate on a tiny dataset."""
+    import contextlib
     import dataclasses
 
     from . import telemetry
@@ -204,6 +286,13 @@ def _run_profile(args: argparse.Namespace) -> int:
     if args.sink == "jsonl" and not args.out:
         print("--sink jsonl requires --out PATH", file=sys.stderr)
         return 2
+    if args.flame_out and not args.trace_out:
+        print("--flame-out requires --trace-out", file=sys.stderr)
+        return 2
+
+    health_policy = args.health_policy
+    if args.health_out and health_policy is None:
+        health_policy = "warn"
 
     dataset = PRESETS[args.dataset](seed=args.seed, scale=args.scale)
     split = traditional_split(dataset, seed=args.seed)
@@ -211,14 +300,22 @@ def _run_profile(args: argparse.Namespace) -> int:
     train_config = TrainConfig(epochs=args.epochs, batch_users=16,
                                k=args.k, ppr_method=args.ppr_method,
                                num_workers=args.workers,
-                               seed=args.seed)
+                               seed=args.seed,
+                               health_policy=health_policy)
+
+    # --trace-out flight-records the run; when `repro trace` wraps this
+    # command an event log is already installed and stays in charge.
+    recorder = contextlib.nullcontext()
+    if args.trace_out and not telemetry.events_enabled():
+        recorder = telemetry.capture_events()
 
     telemetry.reset()
-    with telemetry.enabled():
+    with recorder as event_log, telemetry.enabled():
         model = KUCNetRecommender(model_config, train_config)
         model.fit(split)
         result = evaluate(model, split, max_users=32, seed=args.seed,
-                          num_workers=args.workers)
+                          num_workers=args.workers,
+                          health=model.health_monitor)
 
     manifest = telemetry.RunManifest(
         run=f"profile:{args.dataset}",
@@ -231,8 +328,30 @@ def _run_profile(args: argparse.Namespace) -> int:
                  "eval_users": result.num_users},
     )
 
+    monitor = model.health_monitor
+    if event_log is not None:
+        events = telemetry.write_chrome_trace(
+            args.trace_out, event_log,
+            metadata={"cmd": ["profile", args.dataset]})
+        print(f"[trace {args.trace_out}: {events} trace events, "
+              f"{event_log.dropped} dropped, "
+              f"{len(event_log.lanes())} lane(s)]", file=sys.stderr)
+        if args.flame_out:
+            lines = telemetry.write_folded_stacks(args.flame_out, event_log)
+            print(f"[flame {args.flame_out}: {lines} stacks]",
+                  file=sys.stderr)
+    if args.health_out:
+        lines = telemetry.write_jsonl(
+            args.health_out, manifest=manifest,
+            extra_records=monitor.records() if monitor else None)
+        print(f"[health {args.health_out}: {lines} records, "
+              f"{monitor.alert_count if monitor else 0} alert(s)]",
+              file=sys.stderr)
+
     if args.sink == "jsonl":
-        lines = telemetry.write_jsonl(args.out, manifest=manifest)
+        extra = monitor.records() if monitor is not None else None
+        lines = telemetry.write_jsonl(args.out, manifest=manifest,
+                                      extra_records=extra)
         print(f"[wrote {args.out}: {lines} records]")
     else:
         print(manifest.to_json())

@@ -33,6 +33,7 @@ from ..data import Split
 from ..engine import (EarlyStopping, Engine, EpochCallback, EpochStats,
                       History, ProgressLogger, TelemetryHook)
 from ..graph import CollaborativeKG
+from ..health import HealthConfig, HealthHook, HealthMonitor, check_ppr_residual
 from ..parallel import chunk_sequence, resolve_workers, run_parallel
 from ..ppr import (PPRScoreLike, concat_sparse_scores, forward_push_batch,
                    personalized_pagerank_batch)
@@ -106,6 +107,13 @@ class TrainConfig:
     patience: Optional[int] = None
     #: minimum relative loss improvement that resets the patience counter
     min_improvement: float = 1e-3
+    #: training-health monitoring (:mod:`repro.health`): ``None`` is off;
+    #: ``"warn"`` surfaces alerts as RuntimeWarnings, ``"raise"``
+    #: escalates fatal alerts (NaN/Inf loss or gradients) to
+    #: :class:`~repro.health.HealthError`.  When on, a
+    #: :class:`~repro.health.HealthHook` rides the engine loop and the
+    #: monitor lands on ``self.health_monitor`` after ``fit``.
+    health_policy: Optional[str] = None
 
 
 class KUCNetRecommender:
@@ -128,6 +136,8 @@ class KUCNetRecommender:
         #: or :class:`~repro.ppr.SparsePPRScores` (``"push"``)
         self.ppr_scores: Optional[PPRScoreLike] = None
         self.optimizer: Optional[Adam] = None
+        #: populated when ``train_config.health_policy`` is set
+        self.health_monitor: Optional[HealthMonitor] = None
         self.history: List[EpochStats] = []
         self.ppr_seconds: float = 0.0
         self._graph_cache: "OrderedDict[Tuple[int, ...], ComputationGraph]" = \
@@ -139,10 +149,18 @@ class KUCNetRecommender:
     # ------------------------------------------------------------------
     def prepare(self, split: Split) -> None:
         """Build the CKG and PPR scores without training (preprocessing)."""
+        if (self.health_monitor is None
+                and self.train_config.health_policy is not None):
+            self.health_monitor = HealthMonitor(
+                HealthConfig(policy=self.train_config.health_policy))
         self.ckg = split.dataset.build_ckg(split.train)
         with telemetry.span("ppr.precompute") as ppr_span:
             self.ppr_scores = self._compute_ppr_scores()
         self.ppr_seconds = ppr_span.elapsed
+        residual = getattr(self.ppr_scores, "residual", None)
+        if self.health_monitor is not None and residual is not None:
+            check_ppr_residual(residual, self.ckg.num_users,
+                               self.health_monitor)
         if self.train_config.ppr_degree_normalized:
             degrees = np.diff(self.ckg.indptr).astype(np.float64)
             if isinstance(self.ppr_scores, np.ndarray):
@@ -246,6 +264,9 @@ class KUCNetRecommender:
         train_users = [user for user in split.train.users_with_interactions()]
         history = History()
         hooks = [TelemetryHook(), history]
+        if self.health_monitor is not None:
+            hooks.insert(1, HealthHook(self.health_monitor,
+                                       module=self.model))
         if config.verbose:
             hooks.append(ProgressLogger())
         if callback is not None:
@@ -364,10 +385,18 @@ class KUCNetRecommender:
                 candidates = np.setdiff1d(pool, user_positives)
                 if candidates.size == 0:
                     telemetry.counter("train.sampler_exhausted")
-                    warnings.warn(
-                        f"user {int(user)}: every pooled training item is a "
-                        "positive; no negatives exist — skipping the user",
-                        RuntimeWarning)
+                    if self.health_monitor is not None:
+                        self.health_monitor.alert(
+                            "sampler_exhausted", severity="fatal",
+                            message=f"user {int(user)}: every pooled "
+                                    "training item is a positive; no "
+                                    "negatives exist — user skipped",
+                            value=1.0, user=int(user))
+                    else:
+                        warnings.warn(
+                            f"user {int(user)}: every pooled training item "
+                            "is a positive; no negatives exist — skipping "
+                            "the user", RuntimeWarning)
                     continue
                 negatives[collides] = candidates[self._rng.integers(
                     candidates.size, size=int(collides.sum()))]

@@ -50,13 +50,20 @@ def _evaluate_batch(context, batch: Sequence[int]
     it; the serial path calls it directly, so the two paths execute —
     and instrument — the exact same code.
     """
-    model, split, n = context
+    model, split, n, health = context
     with telemetry.span("eval.score"):
         scores = model.score_users(batch)
     if scores.shape[0] != len(batch):
         raise ValueError(
             f"scorer returned {scores.shape[0]} rows for {len(batch)} users"
         )
+    if health is not None and not np.all(np.isfinite(scores)):
+        bad = int(np.count_nonzero(~np.isfinite(scores)))
+        health.alert(
+            "nan_scores", severity="fatal",
+            message=f"{bad} non-finite score(s) in a batch of "
+                    f"{len(batch)} users — rankings are meaningless",
+            value=float(bad), users=[int(u) for u in batch[:8]])
     rows: List[Tuple[int, float, float]] = []
     with telemetry.span("eval.rank"):
         for row, user in enumerate(batch):
@@ -73,7 +80,8 @@ def evaluate(model: Scorer, split: Split, n: int = 20,
              batch_size: int = 64,
              max_users: Optional[int] = None,
              seed: int = 0,
-             num_workers: Optional[int] = None) -> EvalResult:
+             num_workers: Optional[int] = None,
+             health=None) -> EvalResult:
     """Evaluate ``model`` on ``split`` with the all-ranking protocol.
 
     Parameters
@@ -98,6 +106,13 @@ def evaluate(model: Scorer, split: Split, n: int = 20,
         metrics are averaged in the same user order, so any
         deterministic scorer (e.g. a PPR-sampler KUCNet) produces
         bitwise-identical results at every worker count.
+    health:
+        Optional :class:`repro.health.HealthMonitor`; when given, every
+        scored batch is guarded against non-finite scores (a fatal
+        ``nan_scores`` alert — raised under the ``"raise"`` policy).  On
+        the parallel path workers count alerts into the merged
+        ``health.alerts`` counters; the alert *objects* stay
+        worker-local.
     """
     users = split.test_users
     if not users:
@@ -108,7 +123,7 @@ def evaluate(model: Scorer, split: Split, n: int = 20,
 
     batches = [users[start:start + batch_size]
                for start in range(0, len(users), batch_size)]
-    context = (model, split, n)
+    context = (model, split, n, health)
     workers = resolve_workers(num_workers)
     if workers > 1 and len(batches) > 1:
         outputs = run_parallel(_evaluate_batch, batches, context=context,

@@ -1,0 +1,35 @@
+"""Training-health monitoring: NaN guards, grad norms, drift detectors.
+
+A :class:`HealthMonitor` collects structured :class:`HealthAlert`
+records for one run; :class:`HealthHook` feeds it from the engine loop
+(non-finite loss/grads, exploding grad norms, loss spikes, unstable
+update ratios), and the standalone monitors cover PPR residual drift
+and sampler exhaustion.  Every alert bumps the ``health.alerts``
+counter and flows into JSONL dumps via
+``telemetry.write_jsonl(..., extra_records=monitor.records())``.
+
+Escalation is policy-driven: ``HealthConfig(policy="warn")`` (default)
+surfaces alerts as RuntimeWarnings; ``policy="raise"`` turns
+fatal-severity alerts into :class:`HealthError` so unattended runs and
+CI fail fast::
+
+    from repro.health import HealthConfig, HealthHook, HealthMonitor
+
+    monitor = HealthMonitor(HealthConfig(policy="raise"))
+    engine.fit(..., hooks=[TelemetryHook(), HealthHook(monitor, model)])
+    telemetry.write_jsonl("health.jsonl", manifest=manifest,
+                          extra_records=monitor.records())
+
+See ``docs/observability.md`` for the alert record schema.
+"""
+
+from .alerts import (POLICIES, EpochHealth, HealthAlert, HealthConfig,
+                     HealthError, HealthMonitor)
+from .hooks import HealthHook
+from .monitors import check_ppr_residual, check_sampler, check_snapshot
+
+__all__ = [
+    "HealthAlert", "HealthConfig", "HealthError", "HealthMonitor",
+    "EpochHealth", "HealthHook", "POLICIES",
+    "check_ppr_residual", "check_sampler", "check_snapshot",
+]

@@ -1,0 +1,206 @@
+"""Engine lifecycle hook watching model health during training.
+
+:class:`HealthHook` plugs into :class:`repro.engine.Engine` and watches
+every batch and epoch for the failure modes that silently ruin a run:
+
+* **non-finite loss** — NaN/Inf batch loss is a ``fatal`` alert (the
+  run is unrecoverable: Adam's moments are already poisoned);
+* **non-finite gradients** — NaN/Inf in any parameter group's gradient,
+  also ``fatal``;
+* **exploding gradients** — per-group L2 grad norm above
+  ``grad_norm_max`` (warn);
+* **loss spikes** — a batch loss above ``loss_spike_ratio`` times its
+  EWMA after a warmup period (warn), the classic symptom of a bad
+  batch or a too-hot learning rate;
+* **unstable updates** — end-of-epoch relative weight change
+  ``||W_end - W_start|| / ||W_start||`` above ``update_ratio_max``
+  (warn), the update-ratio rule of thumb (healthy runs sit orders of
+  magnitude below 1 per epoch).
+
+Per epoch it records ``health.grad_norm.<group>`` and
+``health.update_ratio.<group>`` gauges plus a structured
+:class:`~repro.health.alerts.EpochHealth` record into the monitor, so
+health dumps carry the full timeline.
+
+Parameter groups: when constructed with a ``module`` (anything exposing
+``named_parameters()``), parameters group by the first component of
+their dotted name; otherwise the hook reads ``engine.optimizer.params``
+at fit start and tracks them as one ``"model"`` group.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from .. import telemetry
+from ..engine.hooks import Hook
+from .alerts import EpochHealth, HealthConfig, HealthMonitor
+
+__all__ = ["HealthHook"]
+
+
+class HealthHook(Hook):
+    """Engine hook: gradient/update/loss health checks per batch + epoch.
+
+    Parameters
+    ----------
+    monitor:
+        The collecting :class:`HealthMonitor`; created from ``config``
+        when omitted.
+    module:
+        Optional model whose ``named_parameters()`` define parameter
+        groups; falls back to the engine optimizer's flat param list.
+    config:
+        Thresholds/policy; ignored when an explicit ``monitor`` is
+        passed (the monitor's config wins).
+    """
+
+    def __init__(self, monitor: Optional[HealthMonitor] = None,
+                 module=None,  # noqa: ANN001 — anything with named_parameters
+                 config: Optional[HealthConfig] = None):
+        self.monitor = monitor or HealthMonitor(config)
+        self.module = module
+        self._groups: List[Tuple[str, list]] = []
+        self._epoch_start_norms: Dict[str, float] = {}
+        self._epoch_start_state: Dict[str, List[np.ndarray]] = {}
+        self._grad_norm_sums: Dict[str, float] = {}
+        self._batches = 0
+        self._losses: List[float] = []
+        self._ewma: Optional[float] = None
+        self._seen_batches = 0
+
+    # ------------------------------------------------------------------
+    def _resolve_groups(self, engine) -> None:
+        if self.module is not None and hasattr(self.module,
+                                               "named_parameters"):
+            by_group: Dict[str, list] = {}
+            for name, param in self.module.named_parameters():
+                by_group.setdefault(name.split(".", 1)[0], []).append(param)
+            self._groups = sorted(by_group.items())
+        elif getattr(engine, "optimizer", None) is not None:
+            self._groups = [("model", list(engine.optimizer.params))]
+        else:
+            self._groups = []
+
+    @staticmethod
+    def _l2(arrays: List[np.ndarray]) -> float:
+        total = 0.0
+        for array in arrays:
+            total += float(np.sum(np.asarray(array, dtype=np.float64) ** 2))
+        return math.sqrt(total)
+
+    # ------------------------------------------------------------------
+    def on_fit_start(self, engine) -> None:
+        self._resolve_groups(engine)
+        self._ewma = None
+        self._seen_batches = 0
+
+    def on_epoch_start(self, engine, epoch: int) -> None:
+        if not self._groups:
+            self._resolve_groups(engine)
+        self._grad_norm_sums = {name: 0.0 for name, _ in self._groups}
+        self._batches = 0
+        self._losses = []
+        self._epoch_start_norms = {
+            name: self._l2([p.data for p in params])
+            for name, params in self._groups}
+        self._epoch_start_state = {
+            name: [p.data.copy() for p in params]
+            for name, params in self._groups}
+
+    def on_batch_end(self, engine, epoch: int, index: int,
+                     loss: Optional[float]) -> None:
+        config = self.monitor.config
+        if loss is not None:
+            self._check_loss(float(loss), epoch, index)
+        self._batches += 1
+        for name, params in self._groups:
+            grads = [p.grad for p in params if p.grad is not None]
+            if not grads:
+                continue
+            if not all(np.all(np.isfinite(g)) for g in grads):
+                self.monitor.alert(
+                    "non_finite_grad", severity="fatal",
+                    message=f"NaN/Inf gradient in group {name!r} "
+                            f"(epoch {epoch}, batch {index})",
+                    value=float("nan"), epoch=epoch, batch=index, group=name)
+                continue
+            norm = self._l2(grads)
+            self._grad_norm_sums[name] += norm
+            if norm > config.grad_norm_max:
+                self.monitor.alert(
+                    "grad_norm",
+                    message=f"group {name!r} gradient norm {norm:.3g} "
+                            f"exceeds {config.grad_norm_max:g} "
+                            f"(epoch {epoch}, batch {index})",
+                    value=norm, threshold=config.grad_norm_max,
+                    epoch=epoch, batch=index, group=name)
+
+    def _check_loss(self, loss: float, epoch: int, index: int) -> None:
+        config = self.monitor.config
+        if not math.isfinite(loss):
+            self.monitor.alert(
+                "non_finite_loss", severity="fatal",
+                message=f"batch loss is {loss!r} (epoch {epoch}, "
+                        f"batch {index}) — optimizer state is poisoned",
+                value=loss, epoch=epoch, batch=index)
+            return
+        self._losses.append(loss)
+        self._seen_batches += 1
+        if self._ewma is None:
+            self._ewma = loss
+            return
+        armed = self._seen_batches > config.loss_spike_warmup
+        floor = max(abs(self._ewma), 1e-12)
+        if armed and abs(loss) > config.loss_spike_ratio * floor:
+            self.monitor.alert(
+                "loss_spike",
+                message=f"batch loss {loss:.4g} is "
+                        f"{abs(loss) / floor:.1f}x the EWMA "
+                        f"{self._ewma:.4g} (epoch {epoch}, batch {index})",
+                value=loss, threshold=config.loss_spike_ratio * floor,
+                epoch=epoch, batch=index)
+        beta = config.loss_ewma_beta
+        self._ewma = beta * self._ewma + (1.0 - beta) * loss
+
+    def on_epoch_end(self, engine, stats) -> None:
+        config = self.monitor.config
+        alerts_before = len(self.monitor.alerts)
+        grad_norm: Dict[str, float] = {}
+        update_ratio: Dict[str, float] = {}
+        for name, params in self._groups:
+            mean_norm = (self._grad_norm_sums.get(name, 0.0)
+                         / max(self._batches, 1))
+            grad_norm[name] = mean_norm
+            telemetry.gauge(f"health.grad_norm.{name}", mean_norm)
+            start = self._epoch_start_state.get(name)
+            if start is None:
+                continue
+            start_norm = self._epoch_start_norms.get(name, 0.0)
+            if start_norm <= 1e-12:
+                # A zero-initialized group (fresh biases) has no
+                # meaningful *relative* change — any movement divides
+                # by ~0 and false-alerts every run.
+                continue
+            delta = self._l2([p.data - w0 for p, w0 in zip(params, start)])
+            ratio = delta / start_norm
+            update_ratio[name] = ratio
+            telemetry.gauge(f"health.update_ratio.{name}", ratio)
+            if ratio > config.update_ratio_max:
+                self.monitor.alert(
+                    "update_ratio",
+                    message=f"group {name!r} moved {ratio:.3g} of its "
+                            f"weight norm in epoch {stats.epoch} "
+                            f"(max {config.update_ratio_max:g})",
+                    value=ratio, threshold=config.update_ratio_max,
+                    epoch=stats.epoch, group=name)
+        self.monitor.record_epoch(EpochHealth(
+            epoch=stats.epoch, loss=stats.loss,
+            grad_norm=grad_norm, update_ratio=update_ratio,
+            batches=self._batches,
+            alerts=len(self.monitor.alerts) - alerts_before))
+        # Release the weight snapshots between epochs.
+        self._epoch_start_state = {}

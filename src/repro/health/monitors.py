@@ -1,0 +1,93 @@
+"""Standalone health monitors for non-engine pipeline stages.
+
+The :class:`~repro.health.hooks.HealthHook` covers the training loop;
+these functions cover the stages around it:
+
+* :func:`check_ppr_residual` — the forward-push PPR invariant bounds the
+  per-user score underestimation by the residual mass left on the
+  frontier, so residual drift silently corrupts the subgraph pruner's
+  input.  Call it with the aggregate residual after
+  :meth:`KUCNetTrainer.prepare` (the push backend reports it on
+  ``SparsePPRScores.residual``).
+* :func:`check_sampler` — the BPR negative sampler falls back to a
+  linear scan when rejection sampling saturates; a handful of
+  fallbacks is fine, systematic exhaustion means the interaction
+  matrix is too dense for the configured sampler and epochs silently
+  crawl.
+* :func:`check_snapshot` — run both checks after the fact from a plain
+  registry snapshot (``train.sampler_exhausted`` counter /
+  ``ppr.residual_mass`` + ``ppr.num_users`` gauges), for post-hoc
+  auditing of a JSONL dump or a worker snapshot.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional
+
+from .. import telemetry
+from .alerts import HealthAlert, HealthMonitor
+
+__all__ = ["check_ppr_residual", "check_sampler", "check_snapshot"]
+
+
+def check_ppr_residual(residual: float, num_users: int,
+                       monitor: HealthMonitor) -> Optional[HealthAlert]:
+    """Alert when PPR residual mass per user exceeds the configured cap.
+
+    ``residual`` is the aggregate un-pushed probability mass across all
+    seed users (``SparsePPRScores.residual``); dividing by ``num_users``
+    gives the mean per-user approximation error bound.
+    """
+    per_user = float(residual) / max(int(num_users), 1)
+    telemetry.gauge("health.ppr_residual_per_user", per_user)
+    cap = monitor.config.ppr_residual_per_user_max
+    if per_user > cap:
+        return monitor.alert(
+            "ppr_residual",
+            message=f"PPR residual mass {per_user:.4g} per user exceeds "
+                    f"{cap:g} — push tolerance too loose for this graph; "
+                    f"subgraph scores are underestimated",
+            value=per_user, threshold=cap,
+            residual=float(residual), num_users=int(num_users))
+    return None
+
+
+def check_sampler(exhausted: float,
+                  monitor: HealthMonitor) -> Optional[HealthAlert]:
+    """Alert when sampler-exhaustion fallbacks exceed the configured cap."""
+    exhausted = int(exhausted)
+    cap = monitor.config.sampler_exhausted_max
+    if exhausted > cap:
+        return monitor.alert(
+            "sampler_exhausted",
+            message=f"negative sampler fell back to exhaustive scan "
+                    f"{exhausted} time(s) (max {cap}) — interaction "
+                    f"matrix too dense for rejection sampling",
+            value=float(exhausted), threshold=float(cap))
+    return None
+
+
+def check_snapshot(snapshot: Dict[str, Any],
+                   monitor: HealthMonitor) -> List[HealthAlert]:
+    """Run the standalone checks against a registry snapshot dict.
+
+    Accepts the shape produced by ``MetricsRegistry.snapshot()`` (or a
+    parsed-back JSONL section map with the same nesting).  Returns the
+    alerts raised, if any.
+    """
+    alerts: List[HealthAlert] = []
+    counters = snapshot.get("counters", {})
+    exhausted = counters.get("train.sampler_exhausted")
+    if exhausted is not None:
+        alert = check_sampler(exhausted.get("total", 0), monitor)
+        if alert is not None:
+            alerts.append(alert)
+    gauges = snapshot.get("gauges", {})
+    residual = gauges.get("ppr.residual_mass")
+    if residual is not None:
+        num_users = gauges.get("ppr.num_users", {}).get("value", 1)
+        alert = check_ppr_residual(residual.get("value", 0.0), num_users,
+                                   monitor)
+        if alert is not None:
+            alerts.append(alert)
+    return alerts

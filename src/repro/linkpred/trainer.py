@@ -11,6 +11,7 @@ from .. import telemetry
 from ..autodiff import Adam, log_sigmoid
 from ..engine import Engine, EpochStats, History, TelemetryHook
 from ..graph import KnowledgeGraph
+from ..health import HealthConfig, HealthHook, HealthMonitor
 from .scoring import SCORERS, TripletScorer
 
 
@@ -27,6 +28,10 @@ class LinkPredConfig:
     #: corrupted tails sampled per positive triplet
     num_negatives: int = 4
     seed: int = 0
+    #: training-health monitoring (:mod:`repro.health`): ``None`` is off;
+    #: ``"warn"``/``"raise"`` attach a :class:`~repro.health.HealthHook`
+    #: with that escalation policy
+    health_policy: Optional[str] = None
 
 
 @dataclasses.dataclass
@@ -63,6 +68,8 @@ class LinkPredictor:
         self.model: Optional[TripletScorer] = None
         self.optimizer: Optional[Adam] = None
         self._known: Dict[Tuple[int, int], Set[int]] = {}
+        #: populated when ``config.health_policy`` is set
+        self.health_monitor: Optional[HealthMonitor] = None
         self.history: List[EpochStats] = []
 
     @property
@@ -108,7 +115,13 @@ class LinkPredictor:
             return -log_sigmoid(true_scores - false_scores).mean()
 
         history = History()
-        engine = Engine(self.optimizer, hooks=[TelemetryHook(), history])
+        hooks = [TelemetryHook(), history]
+        if config.health_policy is not None:
+            self.health_monitor = HealthMonitor(
+                HealthConfig(policy=config.health_policy))
+            hooks.insert(1, HealthHook(self.health_monitor,
+                                       module=self.model))
+        engine = Engine(self.optimizer, hooks=hooks)
         self.history = history.stats
         engine.fit(step, batches, config.epochs)
         return self

@@ -104,7 +104,8 @@ def chunk_sequence(items: Sequence[_T], chunk_size: int) -> List[Sequence[_T]]:
 #: worker state: populated in the parent immediately before pool
 #: creation (inherited for free under ``fork``) or shipped through the
 #: initializer payload (pickled once per worker under ``spawn``).
-_WORKER: dict = {"fn": None, "context": None, "telemetry": False}
+_WORKER: dict = {"fn": None, "context": None, "telemetry": False,
+                 "events": None}
 
 
 def _initializer(payload: Optional[dict]) -> None:
@@ -113,30 +114,45 @@ def _initializer(payload: Optional[dict]) -> None:
         _WORKER.update(payload)
     os.environ[_WORKER_ENV_FLAG] = "1"
     telemetry.reset()
+    # Under fork the worker inherits a *copy* of the parent's event log;
+    # drop it — per-task logs are created in _execute and shipped back.
+    telemetry.disable_events()
 
 
 def _execute(index_task):
-    """Run one task in a worker; returns (index, result, snapshot, secs).
+    """Run one task in a worker; returns (index, result, snapshot,
+    event_snapshot, secs).
 
     Each task gets a clean registry so its snapshot is attributable to
     it alone — the parent merges snapshots in task order, which keeps
     gauge last-write semantics identical to the serial execution order.
+    When the parent was flight-recording (``_WORKER["events"]`` holds
+    the ring capacity), the task also records into a fresh
+    :class:`~repro.telemetry.events.EventLog` whose snapshot rides back
+    alongside the registry snapshot for per-worker lane merging.
     """
     index, task = index_task
     fn = _WORKER["fn"]
     context = _WORKER["context"]
     start = time.perf_counter()
+    event_snapshot = None
     if _WORKER["telemetry"]:
         telemetry.reset()
+        capacity = _WORKER.get("events")
+        if capacity:
+            telemetry.enable_events(capacity)
         with telemetry.enabled(True):
             result = fn(context, task)
         snapshot = telemetry.get_registry().snapshot()
+        log = telemetry.disable_events()
+        if log is not None and len(log):
+            event_snapshot = log.snapshot()
         telemetry.reset()
     else:
         with telemetry.enabled(False):
             result = fn(context, task)
         snapshot = None
-    return index, result, snapshot, time.perf_counter() - start
+    return index, result, snapshot, event_snapshot, time.perf_counter() - start
 
 
 # ----------------------------------------------------------------------
@@ -192,10 +208,13 @@ def run_parallel(fn: Callable[[Any, Any], Any], tasks: Sequence[Any], *,
     results: List[Any] = [None] * len(tasks)
     merge = telemetry.is_enabled()
     registry = telemetry.get_registry()
-    for index, result, snapshot, elapsed in outputs:
+    event_log = telemetry.get_event_log()
+    for index, result, snapshot, event_snapshot, elapsed in outputs:
         results[index] = result
         if merge and snapshot is not None:
             registry.merge_snapshot(snapshot)
+        if merge and event_log is not None and event_snapshot is not None:
+            event_log.merge_worker(event_snapshot)
         telemetry.histogram("parallel.chunk_seconds", elapsed)
     telemetry.gauge("parallel.workers", workers)
     telemetry.counter("parallel.tasks", len(tasks))
@@ -213,7 +232,10 @@ def _pool_context():
 def _run_pool(fn, tasks, context, workers):
     """Fan ``tasks`` out over a fresh pool; returns raw worker outputs."""
     ctx, forked = _pool_context()
-    state = {"fn": fn, "context": context, "telemetry": telemetry.is_enabled()}
+    parent_log = telemetry.get_event_log()
+    state = {"fn": fn, "context": context,
+             "telemetry": telemetry.is_enabled(),
+             "events": parent_log.capacity if parent_log is not None else None}
     payload = None if forked else state
     if forked:
         _WORKER.update(state)
@@ -226,4 +248,5 @@ def _run_pool(fn, tasks, context, workers):
         if forked:
             # Drop the context reference so the parent does not pin a
             # large object (model, CKG) beyond the pool's lifetime.
-            _WORKER.update({"fn": None, "context": None, "telemetry": False})
+            _WORKER.update({"fn": None, "context": None, "telemetry": False,
+                            "events": None})

@@ -1,4 +1,4 @@
-"""Observability layer: spans, counters, run manifests, sinks.
+"""Observability layer: spans, counters, run manifests, sinks, events.
 
 Zero-dependency instrumentation for the training/inference pipeline.
 Off by default; enable process-wide with :func:`enable` or locally with
@@ -11,11 +11,27 @@ the :func:`enabled` context manager::
     print(tm.summary_table())
     tm.write_jsonl("run.jsonl", manifest=tm.RunManifest(run="demo"))
 
+The **flight recorder** (:mod:`repro.telemetry.events`) additionally
+captures every span begin/end as a timestamped event into a bounded
+ring buffer, exportable as a Chrome/Perfetto trace or a folded-stack
+flamegraph::
+
+    with tm.capture_events() as log:
+        model.fit(split)
+    tm.write_chrome_trace("trace.json", log)
+    tm.write_folded_stacks("flame.txt", log)
+
 See ``docs/observability.md`` for the span taxonomy (``train.*``,
-``ppr.*``, ``graph.*``, ``autodiff.*``, ``eval.*``) and the JSONL record
-schema.
+``ppr.*``, ``graph.*``, ``autodiff.*``, ``eval.*``, ``health.*``), the
+JSONL record schema, and how to open a trace in Perfetto.
 """
 
+from .events import (DEFAULT_EVENT_CAPACITY, EventLog, TraceEvent,
+                     capture_events, disable_events, enable_events,
+                     events_enabled, get_event_log, instant,
+                     to_chrome_trace, to_folded_stacks,
+                     validate_chrome_trace, write_chrome_trace,
+                     write_folded_stacks)
 from .manifest import RunManifest
 from .sinks import read_jsonl, split_records, summary_table, write_jsonl
 from .tracer import (MetricsRegistry, Span, counter, disable, enable,
@@ -28,4 +44,9 @@ __all__ = [
     "enable", "disable", "is_enabled", "enabled",
     "get_registry", "reset", "merge_snapshot",
     "summary_table", "write_jsonl", "read_jsonl", "split_records",
+    "EventLog", "TraceEvent", "DEFAULT_EVENT_CAPACITY",
+    "capture_events", "enable_events", "disable_events", "events_enabled",
+    "get_event_log", "instant",
+    "to_chrome_trace", "write_chrome_trace", "validate_chrome_trace",
+    "to_folded_stacks", "write_folded_stacks",
 ]

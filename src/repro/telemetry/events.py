@@ -1,0 +1,425 @@
+"""Flight recorder: bounded event-level trace log and exporters.
+
+The aggregate registry (:mod:`repro.telemetry.tracer`) answers *how
+much* — total seconds per span name, counter totals — but not *when*:
+it cannot say what overlapped a slow PPR chunk or why epoch 7 took 3x
+epoch 6.  This module adds an **opt-in** event log that records every
+span begin/end (and explicit instant events) into a bounded ring
+buffer, cheap enough to leave on for a whole training run and bounded
+enough to never exhaust memory.
+
+Exporters:
+
+* :func:`to_chrome_trace` — the Chrome trace-event JSON format, loadable
+  in ``chrome://tracing`` and `Perfetto <https://ui.perfetto.dev>`_,
+  with one lane (``tid``) per process: lane 0 is the parent, worker
+  events merged back by :mod:`repro.parallel` land in their own lanes.
+* :func:`to_folded_stacks` — folded-stack text (``a;b;c <value>`` per
+  line, microseconds) consumable by any flamegraph renderer.
+
+Event capture is **independent of the aggregate switch but gated by
+it**: spans only emit events while telemetry is enabled *and* an event
+log is installed.  :func:`capture_events` arms both::
+
+    from repro import telemetry as tm
+
+    with tm.capture_events() as log:
+        model.fit(split)
+    tm.write_chrome_trace("trace.json", log)
+    tm.write_folded_stacks("flame.txt", log)
+
+Cross-process timestamps: every :class:`EventLog` records a paired
+``(perf_counter, time.time)`` anchor at creation.  Worker logs travel
+back as plain-dict snapshots; :meth:`EventLog.merge_worker` maps worker
+``perf_counter`` timestamps onto the parent timeline through the wall
+clock anchors, which share an epoch across processes on one machine.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import json
+import os
+import time
+from typing import Any, Dict, Iterator, List, Optional, Tuple
+
+from . import tracer
+from .tracer import STATE
+
+__all__ = [
+    "TraceEvent", "EventLog", "DEFAULT_EVENT_CAPACITY",
+    "enable_events", "disable_events", "events_enabled", "get_event_log",
+    "capture_events", "instant",
+    "to_chrome_trace", "write_chrome_trace", "validate_chrome_trace",
+    "to_folded_stacks", "write_folded_stacks",
+]
+
+#: default ring-buffer capacity (events, not bytes).  A profile run on
+#: the quick synthetic datasets emits a few tens of thousands of span
+#: events; the default keeps the newest ~quarter million.
+DEFAULT_EVENT_CAPACITY = 262_144
+
+#: event kinds: span begin / span end / instant marker
+_KINDS = ("B", "E", "I")
+
+
+class TraceEvent:
+    """One flight-recorder event (span begin/end or instant marker)."""
+
+    __slots__ = ("kind", "name", "ts", "depth", "lane", "error", "args")
+
+    def __init__(self, kind: str, name: str, ts: float, depth: int,
+                 lane: int = 0, error: bool = False,
+                 args: Optional[Dict[str, Any]] = None):
+        self.kind = kind        # "B" | "E" | "I"
+        self.name = name
+        self.ts = ts            # parent-process perf_counter seconds
+        self.depth = depth      # span-stack depth at emission
+        self.lane = lane        # 0 = parent process, 1.. = workers
+        self.error = error      # end-of-span-via-exception flag
+        self.args = args        # optional payload (instant events)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"TraceEvent({self.kind!r}, {self.name!r}, ts={self.ts:.6f}, "
+                f"depth={self.depth}, lane={self.lane})")
+
+
+class EventLog:
+    """Bounded ring buffer of :class:`TraceEvent` records.
+
+    The buffer is a plain list used circularly: appending past
+    ``capacity`` overwrites the oldest event and bumps :attr:`dropped`.
+    Exporters receive events oldest-first via :meth:`events`.
+    """
+
+    def __init__(self, capacity: int = DEFAULT_EVENT_CAPACITY):
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self.capacity = int(capacity)
+        self.dropped = 0
+        #: wall/perf anchor pair: maps perf timestamps to the shared
+        #: wall clock (and therefore across processes)
+        self.anchor_perf = time.perf_counter()
+        self.anchor_unix = time.time()
+        self._ring: List[TraceEvent] = []
+        self._head = 0           # next write position once full
+        self._lanes: Dict[int, int] = {}    # worker pid -> lane id
+        self._lane_names: Dict[int, str] = {0: "main"}
+
+    # -- recording -----------------------------------------------------
+    def _append(self, event: TraceEvent) -> None:
+        if len(self._ring) < self.capacity:
+            self._ring.append(event)
+            return
+        self._ring[self._head] = event
+        self._head = (self._head + 1) % self.capacity
+        self.dropped += 1
+
+    def begin(self, name: str, depth: int) -> None:
+        self._append(TraceEvent("B", name, time.perf_counter(), depth))
+
+    def end(self, name: str, depth: int, error: bool = False) -> None:
+        self._append(TraceEvent("E", name, time.perf_counter(), depth,
+                                error=error))
+
+    def instant(self, name: str, args: Optional[Dict[str, Any]] = None,
+                depth: int = 0) -> None:
+        self._append(TraceEvent("I", name, time.perf_counter(), depth,
+                                args=args))
+
+    # -- reading -------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._ring)
+
+    def events(self) -> List[TraceEvent]:
+        """All retained events, oldest first."""
+        return self._ring[self._head:] + self._ring[:self._head]
+
+    def lanes(self) -> Dict[int, str]:
+        """``{lane_id: display_name}`` for every known lane."""
+        return dict(self._lane_names)
+
+    # -- cross-process transport ---------------------------------------
+    def snapshot(self) -> Dict[str, Any]:
+        """Plain-dict export for the worker->parent hop (picklable/JSON)."""
+        return {
+            "pid": os.getpid(),
+            "anchor_perf": self.anchor_perf,
+            "anchor_unix": self.anchor_unix,
+            "dropped": self.dropped,
+            "events": [[e.kind, e.name, e.ts, e.depth, e.error, e.args]
+                       for e in self.events()],
+        }
+
+    def merge_worker(self, snapshot: Dict[str, Any]) -> int:
+        """Fold a worker's :meth:`snapshot` into this log as its own lane.
+
+        Worker timestamps are re-anchored onto this log's ``perf_counter``
+        timeline via the wall-clock anchors, so parent and worker events
+        interleave correctly in the exported trace.  Each distinct worker
+        pid gets a stable lane id (assigned in merge order); returns the
+        lane used.
+        """
+        pid = int(snapshot.get("pid", -1))
+        lane = self._lanes.get(pid)
+        if lane is None:
+            lane = self._lanes[pid] = len(self._lanes) + 1
+            self._lane_names[lane] = f"worker-{pid}"
+        # worker perf ts -> wall clock -> parent perf timeline
+        shift = ((snapshot["anchor_unix"] - snapshot["anchor_perf"])
+                 - self.anchor_unix + self.anchor_perf)
+        for kind, name, ts, depth, error, args in snapshot.get("events", ()):
+            self._append(TraceEvent(kind, name, ts + shift, depth,
+                                    lane=lane, error=bool(error), args=args))
+        self.dropped += int(snapshot.get("dropped", 0))
+        return lane
+
+
+# ----------------------------------------------------------------------
+# Global switch: the tracer's hot path reads ``STATE.events`` directly
+# ----------------------------------------------------------------------
+
+def enable_events(capacity: int = DEFAULT_EVENT_CAPACITY) -> EventLog:
+    """Install a fresh event log; spans start emitting events.
+
+    Spans only record events while aggregate telemetry is also enabled
+    (:func:`~repro.telemetry.tracer.enable` / ``enabled()``); use
+    :func:`capture_events` to arm both in one step.
+    """
+    log = EventLog(capacity)
+    STATE.events = log
+    return log
+
+
+def disable_events() -> Optional[EventLog]:
+    """Uninstall the current event log (returned, for export)."""
+    log = STATE.events
+    STATE.events = None
+    return log
+
+
+def events_enabled() -> bool:
+    return STATE.events is not None
+
+
+def get_event_log() -> Optional[EventLog]:
+    """The installed event log, or ``None`` when event capture is off."""
+    return STATE.events
+
+
+@contextlib.contextmanager
+def capture_events(capacity: int = DEFAULT_EVENT_CAPACITY
+                   ) -> Iterator[EventLog]:
+    """Flight-record a block: event log installed + telemetry enabled.
+
+    Restores both switches on exit; the returned log stays readable
+    after the block for export.
+    """
+    previous_log = STATE.events
+    log = EventLog(capacity)
+    STATE.events = log
+    try:
+        with tracer.enabled(True):
+            yield log
+    finally:
+        STATE.events = previous_log
+
+
+def instant(name: str, args: Optional[Dict[str, Any]] = None) -> None:
+    """Record an instant event (threshold crossing, health alert, ...).
+
+    No-op unless telemetry is enabled and an event log is installed —
+    the same gating as span events.
+    """
+    log = STATE.events
+    if log is not None and STATE.enabled:
+        log.instant(name, args)
+
+
+# ----------------------------------------------------------------------
+# Exporters
+# ----------------------------------------------------------------------
+
+def _category(name: str) -> str:
+    """Trace-event category = the span taxonomy's top-level prefix."""
+    return name.split(".", 1)[0]
+
+
+def to_chrome_trace(log: EventLog,
+                    metadata: Optional[Dict[str, Any]] = None
+                    ) -> Dict[str, Any]:
+    """Render the log as a Chrome trace-event JSON object.
+
+    Loadable in ``chrome://tracing`` and Perfetto.  Span begin/end map
+    to ``"B"``/``"E"`` duration events; instants map to ``"i"``.  One
+    ``pid`` (the run), one ``tid`` per lane, timestamps in microseconds
+    relative to the earliest retained event.  Begin events whose end was
+    dropped by the ring buffer (and vice versa) are closed/skipped so
+    the output stays balanced per lane.
+    """
+    events = log.events()
+    origin = min((e.ts for e in events), default=0.0)
+    trace_events: List[Dict[str, Any]] = []
+    for lane, lane_name in sorted(log.lanes().items()):
+        trace_events.append({
+            "ph": "M", "name": "thread_name", "pid": 0, "tid": lane,
+            "args": {"name": lane_name}})
+
+    # Per-lane open-span stacks, to balance around ring-buffer drops:
+    # an "E" with no open "B" is skipped; "B"s still open at the end of
+    # the log are closed at the last seen timestamp.
+    open_stacks: Dict[int, List[Dict[str, Any]]] = {}
+    last_ts = origin
+    for event in events:
+        ts_us = (event.ts - origin) * 1e6
+        last_ts = max(last_ts, event.ts)
+        if event.kind == "B":
+            record = {"ph": "B", "name": event.name, "cat": _category(event.name),
+                      "pid": 0, "tid": event.lane, "ts": ts_us}
+            trace_events.append(record)
+            open_stacks.setdefault(event.lane, []).append(record)
+        elif event.kind == "E":
+            stack = open_stacks.get(event.lane)
+            if not stack:
+                continue        # begin lost to the ring buffer
+            stack.pop()
+            record = {"ph": "E", "pid": 0, "tid": event.lane, "ts": ts_us}
+            if event.error:
+                record["args"] = {"error": True}
+            trace_events.append(record)
+        else:
+            record = {"ph": "i", "name": event.name,
+                      "cat": _category(event.name), "s": "t",
+                      "pid": 0, "tid": event.lane, "ts": ts_us}
+            if event.args:
+                record["args"] = dict(event.args)
+            trace_events.append(record)
+    final_us = (last_ts - origin) * 1e6
+    for stack in open_stacks.values():
+        for _ in stack:         # close still-open spans at the last ts
+            trace_events.append({"ph": "E", "pid": 0,
+                                 "tid": stack[0]["tid"], "ts": final_us})
+
+    trace: Dict[str, Any] = {
+        "traceEvents": trace_events,
+        "displayTimeUnit": "ms",
+        "metadata": {"recorder": "repro.telemetry.events",
+                     "events": len(events), "dropped": log.dropped},
+    }
+    if metadata:
+        trace["metadata"].update(metadata)
+    return trace
+
+
+def write_chrome_trace(path: str, log: Optional[EventLog] = None,
+                       metadata: Optional[Dict[str, Any]] = None) -> int:
+    """Write :func:`to_chrome_trace` JSON to ``path``; returns #events."""
+    log = log if log is not None else STATE.events
+    if log is None:
+        raise ValueError("no event log: pass one or call enable_events()")
+    trace = to_chrome_trace(log, metadata=metadata)
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(trace, handle)
+    return len(trace["traceEvents"])
+
+
+def validate_chrome_trace(trace: Dict[str, Any]) -> Dict[str, int]:
+    """Assert a trace dict is well-formed; returns summary counts.
+
+    Checks the schema (``traceEvents`` list, required keys per phase),
+    per-lane balanced ``B``/``E`` pairing, and non-decreasing nesting
+    (every ``E`` closes the most recent open ``B`` at a timestamp >= its
+    begin).  Raises :class:`ValueError` with a specific message on the
+    first violation — used by the CI gate and the test suite.
+    """
+    if not isinstance(trace.get("traceEvents"), list):
+        raise ValueError("trace is missing the traceEvents list")
+    stacks: Dict[Tuple[int, int], List[Dict[str, Any]]] = {}
+    counts = {"B": 0, "E": 0, "i": 0, "M": 0}
+    for position, event in enumerate(trace["traceEvents"]):
+        phase = event.get("ph")
+        if phase not in ("B", "E", "i", "M"):
+            raise ValueError(f"event {position}: unknown phase {phase!r}")
+        counts[phase] += 1
+        if phase == "M":
+            continue
+        if "ts" not in event or "pid" not in event or "tid" not in event:
+            raise ValueError(f"event {position}: missing ts/pid/tid")
+        key = (event["pid"], event["tid"])
+        stack = stacks.setdefault(key, [])
+        if phase == "B":
+            if "name" not in event:
+                raise ValueError(f"event {position}: B without name")
+            stack.append(event)
+        elif phase == "E":
+            if not stack:
+                raise ValueError(
+                    f"event {position}: E with no open B on lane {key}")
+            begin = stack.pop()
+            if event["ts"] < begin["ts"]:
+                raise ValueError(
+                    f"event {position}: E at {event['ts']} before its B "
+                    f"at {begin['ts']} ({begin.get('name')!r})")
+    for key, stack in stacks.items():
+        if stack:
+            raise ValueError(
+                f"lane {key}: {len(stack)} unclosed B events "
+                f"(first: {stack[0].get('name')!r})")
+    if counts["B"] != counts["E"]:
+        raise ValueError(f"unbalanced: {counts['B']} B vs {counts['E']} E")
+    return counts
+
+
+def to_folded_stacks(log: EventLog) -> str:
+    """Render the log as folded-stack flamegraph text.
+
+    One line per unique stack: ``lane;span;child;... <microseconds>``,
+    where the value is the stack's *exclusive* time (inclusive minus
+    child spans), the flamegraph convention.  Events orphaned by the
+    ring buffer are skipped; spans still open at the end of the log
+    contribute the time observed so far.
+    """
+    folded: Dict[str, float] = {}
+    # per-lane stacks of [name, begin_ts, child_seconds]
+    stacks: Dict[int, List[List[Any]]] = {}
+    last_ts: Dict[int, float] = {}
+
+    def close(lane: int, frame: List[Any], end_ts: float) -> None:
+        stack = stacks[lane]
+        names = [f[0] for f in stack] + [frame[0]]
+        key = ";".join([log.lanes().get(lane, f"lane-{lane}")] + names)
+        inclusive = max(0.0, end_ts - frame[1])
+        exclusive = max(0.0, inclusive - frame[2])
+        folded[key] = folded.get(key, 0.0) + exclusive
+        if stack:
+            stack[-1][2] += inclusive
+
+    for event in log.events():
+        last_ts[event.lane] = event.ts
+        if event.kind == "B":
+            stacks.setdefault(event.lane, []).append([event.name, event.ts, 0.0])
+        elif event.kind == "E":
+            stack = stacks.get(event.lane)
+            if not stack:
+                continue        # begin lost to the ring buffer
+            frame = stack.pop()
+            close(event.lane, frame, event.ts)
+    for lane, stack in stacks.items():
+        while stack:            # close still-open frames at the last ts
+            frame = stack.pop()
+            close(lane, frame, last_ts.get(lane, frame[1]))
+
+    lines = [f"{key} {int(round(seconds * 1e6))}"
+             for key, seconds in sorted(folded.items())]
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def write_folded_stacks(path: str, log: Optional[EventLog] = None) -> int:
+    """Write :func:`to_folded_stacks` to ``path``; returns #lines."""
+    log = log if log is not None else STATE.events
+    if log is None:
+        raise ValueError("no event log: pass one or call enable_events()")
+    text = to_folded_stacks(log)
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(text)
+    return 0 if not text else text.count("\n")

@@ -16,7 +16,8 @@ Every record carries a ``"record"`` discriminator: ``manifest``,
 from __future__ import annotations
 
 import json
-from typing import Dict, List, Optional
+import warnings
+from typing import Dict, Iterable, List, Optional
 
 from .manifest import RunManifest
 from .tracer import MetricsRegistry, get_registry
@@ -45,11 +46,13 @@ def summary_table(registry: Optional[MetricsRegistry] = None) -> str:
         rows = [[name, str(rec["count"]),
                  f"{rec['total_seconds']:.4f}",
                  f"{rec['exclusive_seconds']:.4f}",
-                 f"{1e3 * rec['total_seconds'] / max(rec['count'], 1):.2f}"]
+                 f"{1e3 * rec['total_seconds'] / max(rec['count'], 1):.2f}",
+                 str(rec.get("errors", 0))]
                 for name, rec in sorted(spans.items())]
         lines.append("spans")
         lines += _format_table(
-            ["name", "count", "total(s)", "excl(s)", "mean(ms)"], rows)
+            ["name", "count", "total(s)", "excl(s)", "mean(ms)", "errors"],
+            rows)
 
     counters = snap["counters"]
     if counters:
@@ -84,17 +87,26 @@ def summary_table(registry: Optional[MetricsRegistry] = None) -> str:
 
 
 def write_jsonl(path: str, registry: Optional[MetricsRegistry] = None,
-                manifest: Optional[RunManifest] = None) -> int:
+                manifest: Optional[RunManifest] = None,
+                extra_records: Optional[Iterable[Dict[str, object]]] = None
+                ) -> int:
     """Write the registry (and optional manifest) as JSONL; returns #lines.
 
     The manifest record, when given, is the first line; instrument
     records follow sorted by section and name, one JSON object per line.
+    ``extra_records`` (e.g. :mod:`repro.health` alert and epoch-health
+    records, each carrying its own ``"record"`` discriminator) are
+    appended after the instrument records — :func:`read_jsonl` preserves
+    unknown kinds and :func:`split_records` skips them, so old readers
+    keep working.
     """
     registry = registry or get_registry()
     records: List[Dict[str, object]] = []
     if manifest is not None:
         records.append(manifest.to_record())
     records.extend(registry.records())
+    if extra_records is not None:
+        records.extend(extra_records)
     with open(path, "w", encoding="utf-8") as handle:
         for record in records:
             handle.write(json.dumps(record, sort_keys=True) + "\n")
@@ -120,6 +132,12 @@ def split_records(records: List[Dict[str, object]]):
     for record in records:
         kind = record.get("record")
         if kind == "manifest":
+            if manifest is not None:
+                warnings.warn(
+                    "split_records: multiple manifest records in one dump "
+                    f"(runs {manifest.get('run')!r} and {record.get('run')!r})"
+                    " — keeping the last; concatenated dumps should be split "
+                    "before parsing", RuntimeWarning)
             manifest = record
         elif kind in sections:
             sections[kind][str(record["name"])] = record

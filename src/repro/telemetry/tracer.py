@@ -64,13 +64,17 @@ class SpanStats:
     exclusive_seconds: float = 0.0   # inclusive minus child-span time
     min_seconds: float = math.inf
     max_seconds: float = 0.0
+    errors: int = 0                  # exits via exception
 
-    def observe(self, inclusive: float, exclusive: float) -> None:
+    def observe(self, inclusive: float, exclusive: float,
+                error: bool = False) -> None:
         self.count += 1
         self.total_seconds += inclusive
         self.exclusive_seconds += exclusive
         self.min_seconds = min(self.min_seconds, inclusive)
         self.max_seconds = max(self.max_seconds, inclusive)
+        if error:
+            self.errors += 1
 
     def to_record(self) -> Dict[str, object]:
         return {
@@ -79,6 +83,7 @@ class SpanStats:
             "exclusive_seconds": self.exclusive_seconds,
             "min_seconds": self.min_seconds if self.count else 0.0,
             "max_seconds": self.max_seconds,
+            "errors": self.errors,
         }
 
 
@@ -176,12 +181,13 @@ class MetricsRegistry:
         self.histograms: Dict[str, HistogramStats] = {}
 
     # -- writers -------------------------------------------------------
-    def record_span(self, name: str, inclusive: float, exclusive: float) -> None:
+    def record_span(self, name: str, inclusive: float, exclusive: float,
+                    error: bool = False) -> None:
         with self._lock:
             stats = self.spans.get(name)
             if stats is None:
                 stats = self.spans[name] = SpanStats(name)
-            stats.observe(inclusive, exclusive)
+            stats.observe(inclusive, exclusive, error=error)
 
     def add(self, name: str, value: float = 1.0) -> None:
         with self._lock:
@@ -248,6 +254,7 @@ class MetricsRegistry:
                 stats.count += count
                 stats.total_seconds += float(rec["total_seconds"])
                 stats.exclusive_seconds += float(rec["exclusive_seconds"])
+                stats.errors += int(rec.get("errors", 0))
                 if count:
                     stats.min_seconds = min(stats.min_seconds,
                                             float(rec["min_seconds"]))
@@ -294,12 +301,20 @@ class MetricsRegistry:
 # ----------------------------------------------------------------------
 
 class _State:
-    """Module-level switch; hot paths read ``STATE.enabled`` directly."""
+    """Module-level switch; hot paths read ``STATE.enabled`` directly.
 
-    __slots__ = ("enabled",)
+    ``events`` holds the installed flight-recorder
+    :class:`~repro.telemetry.events.EventLog` (or ``None``, the
+    default): spans emit begin/end events only while both ``enabled``
+    is set and a log is installed, so the aggregate-only path pays one
+    extra ``is None`` check and the disabled path pays nothing new.
+    """
+
+    __slots__ = ("enabled", "events")
 
     def __init__(self) -> None:
         self.enabled = False
+        self.events = None
 
 
 STATE = _State()
@@ -362,7 +377,8 @@ class Span:
     bookkeeping are only touched when telemetry is enabled.
     """
 
-    __slots__ = ("name", "elapsed", "_started", "_recording", "_child_seconds")
+    __slots__ = ("name", "elapsed", "_started", "_recording",
+                 "_child_seconds", "_ended")
 
     def __init__(self, name: str):
         self.name = name
@@ -370,11 +386,17 @@ class Span:
         self._started = 0.0
         self._child_seconds = 0.0
         self._recording = False
+        self._ended = False
 
     def __enter__(self) -> "Span":
         self._recording = STATE.enabled
+        self._ended = False
         if self._recording:
-            _stack().append(self)
+            stack = _stack()
+            events = STATE.events
+            if events is not None:
+                events.begin(self.name, len(stack))
+            stack.append(self)
         self._started = time.perf_counter()
         return self
 
@@ -382,15 +404,32 @@ class Span:
         self.elapsed = time.perf_counter() - self._started
         if not self._recording:
             return
+        error = exc_type is not None
         stack = _stack()
+        events = STATE.events
         # Tolerate mismatched exits (e.g. a generator-held span closed
-        # from another frame): pop back to this span if it is on the stack.
+        # from another frame): pop back to this span if it is on the
+        # stack, force-closing any spans above it so the event stream
+        # stays balanced.  A force-closed span's own later __exit__
+        # takes the ``not in stack`` path and must not emit a second
+        # end event (the ``_ended`` latch).
         if self in stack:
             while stack and stack[-1] is not self:
-                stack.pop()
+                orphan = stack.pop()
+                if events is not None and not orphan._ended:
+                    orphan._ended = True
+                    events.end(orphan.name, len(stack))
             stack.pop()
+            if events is not None and not self._ended:
+                self._ended = True
+                events.end(self.name, len(stack), error=error)
+        elif events is not None and not self._ended:
+            self._ended = True
+            events.end(self.name, len(stack), error=error)
         exclusive = max(0.0, self.elapsed - self._child_seconds)
-        _REGISTRY.record_span(self.name, self.elapsed, exclusive)
+        _REGISTRY.record_span(self.name, self.elapsed, exclusive, error=error)
+        if error:
+            _REGISTRY.add(f"{self.name}.errors")
         if stack:
             stack[-1]._child_seconds += self.elapsed
 

@@ -1,0 +1,369 @@
+"""Flight recorder tests: ring buffer, exporters, worker lanes, trace CLI.
+
+The contract under test (docs/observability.md, "Flight recorder"):
+event capture is opt-in and bounded, every exported Chrome trace is
+balanced per lane (``validate_chrome_trace`` passes even when the ring
+buffer truncated the log), worker events merged by
+:mod:`repro.parallel` land in their own lanes on the parent timeline,
+and ``repro trace`` wraps any other CLI command end-to-end.
+"""
+
+import json
+import time
+
+import pytest
+
+from repro import telemetry as tm
+from repro.cli import main
+from repro.parallel import run_parallel
+from repro.telemetry.events import EventLog, TraceEvent
+
+
+@pytest.fixture(autouse=True)
+def clean_state():
+    """Every test starts disabled, with no registry state or event log."""
+    tm.disable()
+    tm.reset()
+    tm.disable_events()
+    yield
+    tm.disable()
+    tm.reset()
+    tm.disable_events()
+
+
+# ----------------------------------------------------------------------
+# Ring buffer
+# ----------------------------------------------------------------------
+
+class TestEventLog:
+    def test_records_in_order(self):
+        log = EventLog(capacity=16)
+        log.begin("a", 0)
+        log.begin("b", 1)
+        log.end("b", 1)
+        log.end("a", 0)
+        log.instant("mark", {"k": 1})
+        kinds = [(e.kind, e.name) for e in log.events()]
+        assert kinds == [("B", "a"), ("B", "b"), ("E", "b"), ("E", "a"),
+                         ("I", "mark")]
+        assert log.dropped == 0
+
+    def test_ring_keeps_newest_and_counts_drops(self):
+        log = EventLog(capacity=4)
+        for index in range(10):
+            log.instant(f"e{index}")
+        assert len(log) == 4
+        assert log.dropped == 6
+        names = [e.name for e in log.events()]
+        assert names == ["e6", "e7", "e8", "e9"]
+
+    def test_capacity_must_be_positive(self):
+        with pytest.raises(ValueError, match="capacity"):
+            EventLog(capacity=0)
+
+    def test_timestamps_monotonic(self):
+        log = EventLog()
+        for _ in range(5):
+            log.instant("tick")
+        stamps = [e.ts for e in log.events()]
+        assert stamps == sorted(stamps)
+
+
+class TestWorkerMerge:
+    def test_merge_assigns_stable_lanes_per_pid(self):
+        parent = EventLog()
+        worker = EventLog()
+        worker.begin("w.task", 0)
+        worker.end("w.task", 0)
+        snapshot = worker.snapshot()
+        snapshot["pid"] = 4242
+        lane_first = parent.merge_worker(snapshot)
+        lane_again = parent.merge_worker(dict(snapshot, events=[]))
+        assert lane_first == lane_again == 1
+        assert parent.lanes() == {0: "main", 1: "worker-4242"}
+        assert all(e.lane == 1 for e in parent.events())
+
+    def test_merge_reanchors_worker_timestamps(self):
+        parent = EventLog()
+        worker = EventLog()
+        worker.instant("w.mark")
+        snapshot = worker.snapshot()
+        # Simulate a worker whose perf_counter epoch differs wildly from
+        # the parent's (the cross-process reality): shift both the
+        # anchor and the event timestamps by the same offset.
+        offset = 1e6
+        snapshot["anchor_perf"] += offset
+        snapshot["events"] = [
+            [kind, name, ts + offset, depth, error, args]
+            for kind, name, ts, depth, error, args in snapshot["events"]]
+        parent.merge_worker(snapshot)
+        merged = parent.events()[0]
+        # Re-anchored onto the parent timeline: within clock-sync slack
+        # of the parent's own anchor, nowhere near the 1e6 raw offset.
+        assert abs(merged.ts - parent.anchor_perf) < 60.0
+
+    def test_merge_accumulates_worker_drops(self):
+        parent = EventLog()
+        worker = EventLog(capacity=2)
+        for _ in range(5):
+            worker.instant("w")
+        parent.merge_worker(worker.snapshot())
+        assert parent.dropped == 3
+
+
+# ----------------------------------------------------------------------
+# Capture gating
+# ----------------------------------------------------------------------
+
+class TestCaptureGating:
+    def test_capture_events_arms_and_restores(self):
+        assert not tm.events_enabled()
+        with tm.capture_events() as log:
+            assert tm.events_enabled()
+            assert tm.is_enabled()
+            with tm.span("unit"):
+                pass
+        assert not tm.events_enabled()
+        assert not tm.is_enabled()
+        assert [(e.kind, e.name) for e in log.events()] == [
+            ("B", "unit"), ("E", "unit")]
+
+    def test_no_events_without_log(self):
+        with tm.enabled():
+            with tm.span("unit"):
+                pass
+        assert tm.get_event_log() is None
+
+    def test_no_events_when_telemetry_disabled(self):
+        log = tm.enable_events()
+        with tm.span("unit"):        # telemetry off: span records nothing
+            pass
+        tm.instant("mark")
+        assert len(log) == 0
+
+    def test_instant_records_args(self):
+        with tm.capture_events() as log:
+            tm.instant("health.alert", {"check": "grad_norm"})
+        event = log.events()[0]
+        assert event.kind == "I"
+        assert event.args == {"check": "grad_norm"}
+
+    def test_span_error_flag_reaches_events(self):
+        with tm.capture_events() as log:
+            with pytest.raises(RuntimeError):
+                with tm.span("boom"):
+                    raise RuntimeError("x")
+        end = [e for e in log.events() if e.kind == "E"][0]
+        assert end.error is True
+
+    def test_nested_capture_restores_outer_log(self):
+        with tm.capture_events() as outer:
+            with tm.capture_events() as inner:
+                with tm.span("deep"):
+                    pass
+            assert tm.get_event_log() is outer
+        assert len(inner) == 2
+        assert len(outer) == 0
+
+
+# ----------------------------------------------------------------------
+# Chrome trace exporter + validator
+# ----------------------------------------------------------------------
+
+class TestChromeTrace:
+    def test_balanced_trace_validates(self):
+        with tm.capture_events() as log:
+            with tm.span("outer"):
+                with tm.span("inner"):
+                    pass
+            tm.instant("mark")
+        trace = tm.to_chrome_trace(log)
+        counts = tm.validate_chrome_trace(trace)
+        assert counts == {"B": 2, "E": 2, "i": 1, "M": 1}
+
+    def test_timestamps_relative_microseconds(self):
+        with tm.capture_events() as log:
+            with tm.span("outer"):
+                time.sleep(0.002)
+        trace = tm.to_chrome_trace(log)
+        begin, end = [e for e in trace["traceEvents"] if e["ph"] in "BE"]
+        assert begin["ts"] == 0.0
+        assert end["ts"] >= 2_000          # >= 2ms in microseconds
+
+    def test_metadata_and_categories(self):
+        with tm.capture_events() as log:
+            with tm.span("train.forward"):
+                pass
+        trace = tm.to_chrome_trace(log, metadata={"cmd": ["profile"]})
+        begin = [e for e in trace["traceEvents"] if e["ph"] == "B"][0]
+        assert begin["cat"] == "train"
+        assert trace["metadata"]["cmd"] == ["profile"]
+        assert trace["metadata"]["dropped"] == 0
+
+    def test_truncated_log_still_balances(self):
+        # Capacity 3 on a 2-span block: the oldest events (including
+        # "outer"'s begin) fall off the ring; the exporter must skip the
+        # orphaned end and stay balanced.
+        with tm.capture_events(capacity=3) as log:
+            for _ in range(4):
+                with tm.span("outer"):
+                    with tm.span("inner"):
+                        pass
+        assert log.dropped > 0
+        counts = tm.validate_chrome_trace(tm.to_chrome_trace(log))
+        assert counts["B"] == counts["E"]
+
+    def test_open_span_closed_at_final_timestamp(self):
+        log = EventLog()
+        log.begin("never.closed", 0)
+        log.instant("later")
+        counts = tm.validate_chrome_trace(to_trace := tm.to_chrome_trace(log))
+        assert counts["B"] == counts["E"] == 1
+        phases = [e["ph"] for e in to_trace["traceEvents"] if e["ph"] != "M"]
+        assert phases[-1] == "E"
+
+    def test_write_chrome_trace_round_trip(self, tmp_path):
+        with tm.capture_events() as log:
+            with tm.span("unit"):
+                pass
+        path = tmp_path / "trace.json"
+        tm.write_chrome_trace(str(path), log)
+        trace = json.loads(path.read_text())
+        assert tm.validate_chrome_trace(trace)["B"] == 1
+
+    def test_validator_rejects_unbalanced(self):
+        trace = {"traceEvents": [
+            {"ph": "B", "name": "a", "pid": 0, "tid": 0, "ts": 0.0}]}
+        with pytest.raises(ValueError, match="unclosed"):
+            tm.validate_chrome_trace(trace)
+
+    def test_validator_rejects_end_before_begin(self):
+        trace = {"traceEvents": [
+            {"ph": "B", "name": "a", "pid": 0, "tid": 0, "ts": 5.0},
+            {"ph": "E", "pid": 0, "tid": 0, "ts": 1.0}]}
+        with pytest.raises(ValueError, match="before its B"):
+            tm.validate_chrome_trace(trace)
+
+    def test_validator_rejects_orphan_end(self):
+        trace = {"traceEvents": [
+            {"ph": "E", "pid": 0, "tid": 0, "ts": 0.0}]}
+        with pytest.raises(ValueError, match="no open B"):
+            tm.validate_chrome_trace(trace)
+
+    def test_validator_rejects_missing_keys(self):
+        with pytest.raises(ValueError, match="ts/pid/tid"):
+            tm.validate_chrome_trace(
+                {"traceEvents": [{"ph": "B", "name": "a"}]})
+        with pytest.raises(ValueError, match="traceEvents"):
+            tm.validate_chrome_trace({})
+
+
+# ----------------------------------------------------------------------
+# Folded stacks
+# ----------------------------------------------------------------------
+
+class TestFoldedStacks:
+    def test_stacks_carry_lane_and_nesting(self):
+        with tm.capture_events() as log:
+            with tm.span("outer"):
+                with tm.span("inner"):
+                    time.sleep(0.002)
+        text = tm.to_folded_stacks(log)
+        lines = dict(line.rsplit(" ", 1) for line in text.splitlines())
+        assert set(lines) == {"main;outer", "main;outer;inner"}
+        assert int(lines["main;outer;inner"]) >= 2_000
+
+    def test_exclusive_time_convention(self):
+        with tm.capture_events() as log:
+            with tm.span("outer"):
+                time.sleep(0.004)
+                with tm.span("inner"):
+                    time.sleep(0.002)
+        values = dict(line.rsplit(" ", 1)
+                      for line in tm.to_folded_stacks(log).splitlines())
+        # outer's folded value excludes inner's time
+        assert int(values["main;outer"]) >= 3_000
+        outer_stats = tm.get_registry().spans["outer"]
+        total_us = outer_stats.total_seconds * 1e6
+        assert int(values["main;outer"]) < total_us - 1_000
+
+    def test_write_folded_stacks(self, tmp_path):
+        with tm.capture_events() as log:
+            with tm.span("unit"):
+                pass
+        path = tmp_path / "flame.txt"
+        assert tm.write_folded_stacks(str(path), log) == 1
+        assert path.read_text().startswith("main;unit ")
+
+    def test_empty_log_renders_empty(self):
+        assert tm.to_folded_stacks(EventLog()) == ""
+
+
+# ----------------------------------------------------------------------
+# Worker lanes through repro.parallel
+# ----------------------------------------------------------------------
+
+def _spanned_square(context, task):
+    with tm.span("work.unit"):
+        return task * task
+
+
+class TestWorkerLanes:
+    def test_parallel_events_merge_into_lanes(self):
+        with tm.capture_events() as log:
+            results = run_parallel(_spanned_square, list(range(4)),
+                                   num_workers=2)
+        assert results == [0, 1, 4, 9]
+        lanes = log.lanes()
+        assert lanes[0] == "main"
+        worker_lanes = {lane for lane, name in lanes.items() if lane != 0}
+        assert worker_lanes                 # at least one worker lane
+        worker_events = [e for e in log.events() if e.lane != 0]
+        assert sum(1 for e in worker_events if e.kind == "B") == 4
+        tm.validate_chrome_trace(tm.to_chrome_trace(log))
+
+    def test_serial_path_stays_on_main_lane(self):
+        with tm.capture_events() as log:
+            run_parallel(_spanned_square, list(range(4)), num_workers=1)
+        assert all(e.lane == 0 for e in log.events())
+        assert log.lanes() == {0: "main"}
+
+    def test_no_worker_events_without_capture(self):
+        with tm.enabled():
+            run_parallel(_spanned_square, list(range(4)), num_workers=2)
+        assert tm.get_event_log() is None
+        # aggregate merge still intact
+        assert tm.get_registry().spans["work.unit"].count == 4
+
+
+# ----------------------------------------------------------------------
+# repro trace CLI
+# ----------------------------------------------------------------------
+
+class TestTraceCLI:
+    def test_trace_wraps_profile(self, tmp_path, capsys):
+        out = tmp_path / "trace.json"
+        flame = tmp_path / "flame.txt"
+        code = main(["trace", "--out", str(out), "--flame", str(flame),
+                     "--", "profile", "--epochs", "1", "--scale", "0.05"])
+        assert code == 0
+        trace = json.loads(out.read_text())
+        counts = tm.validate_chrome_trace(trace)
+        assert counts["B"] > 0
+        assert trace["metadata"]["cmd"][0] == "profile"
+        assert "train.fit" in flame.read_text()
+        assert not tm.events_enabled()      # recorder uninstalled after
+
+    def test_trace_requires_a_command(self, capsys):
+        assert main(["trace", "--out", "x.json"]) == 2
+        assert "no command" in capsys.readouterr().err
+
+    def test_trace_refuses_nesting(self, capsys):
+        assert main(["trace", "--", "trace", "--", "list"]) == 2
+        assert "refusing to nest" in capsys.readouterr().err
+
+    def test_trace_passes_through_inner_exit_code(self, tmp_path, capsys):
+        out = tmp_path / "trace.json"
+        code = main(["trace", "--out", str(out), "--",
+                     "profile", "--dataset", "nope"])
+        assert code == 2

@@ -1,0 +1,416 @@
+"""Training-health monitor tests (repro.health).
+
+Covers the alert/policy machinery, the engine :class:`HealthHook`
+(NaN/Inf guards, grad-norm and update-ratio tracking, EWMA loss-spike
+detection), the standalone PPR-residual and sampler monitors, the
+trainer integrations, and the JSONL record flow through the existing
+telemetry sinks.
+"""
+
+import json
+import math
+import warnings
+
+import numpy as np
+import pytest
+
+from repro import telemetry as tm
+from repro.autodiff import Adam, Module, Parameter
+from repro.core import KUCNetConfig, KUCNetRecommender, TrainConfig
+from repro.data import lastfm_like, traditional_split
+from repro.engine import Engine
+from repro.health import (EpochHealth, HealthAlert, HealthConfig,
+                          HealthError, HealthHook, HealthMonitor,
+                          check_ppr_residual, check_sampler, check_snapshot)
+
+
+@pytest.fixture(autouse=True)
+def clean_state():
+    tm.disable()
+    tm.reset()
+    tm.disable_events()
+    yield
+    tm.disable()
+    tm.reset()
+    tm.disable_events()
+
+
+class Quadratic(Module):
+    """Minimal trainable module: loss = mean((w - target)^2)."""
+
+    def __init__(self, target: float = 3.0):
+        super().__init__()
+        self.w = Parameter(np.zeros(4), name="w")
+        self.target = target
+
+    def loss(self):
+        diff = self.w - self.target
+        return (diff * diff).mean()
+
+
+def fit(module, hook, *, epochs=1, batches=2, step=None, lr=0.1):
+    engine = Engine(Adam(module.parameters(), lr=lr), hooks=[hook])
+    return engine.fit(step or (lambda batch: module.loss()),
+                      lambda epoch: [None] * batches, epochs=epochs)
+
+
+# ----------------------------------------------------------------------
+# Monitor + policy machinery
+# ----------------------------------------------------------------------
+
+class TestHealthMonitor:
+    def test_warn_policy_warns_and_collects(self):
+        monitor = HealthMonitor()
+        with pytest.warns(RuntimeWarning, match=r"health\[grad_norm\]"):
+            monitor.alert("grad_norm", "too big", value=9.0, threshold=1.0)
+        assert monitor.alert_count == 1
+        assert monitor.alerts[0].severity == "warn"
+
+    def test_raise_policy_escalates_fatal_only(self):
+        monitor = HealthMonitor(HealthConfig(policy="raise"))
+        with pytest.warns(RuntimeWarning):
+            monitor.alert("grad_norm", "warn stays warn")
+        with pytest.raises(HealthError, match=r"\[non_finite_loss\]"):
+            monitor.alert("non_finite_loss", "NaN", severity="fatal")
+        assert monitor.alert_count == 2
+
+    def test_fatal_under_warn_policy_only_warns(self):
+        monitor = HealthMonitor(HealthConfig(policy="warn"))
+        with pytest.warns(RuntimeWarning):
+            monitor.alert("non_finite_loss", "NaN", severity="fatal")
+
+    def test_unknown_policy_rejected(self):
+        with pytest.raises(ValueError, match="policy"):
+            HealthConfig(policy="explode")
+
+    def test_alerts_bump_counters_and_emit_instants(self):
+        monitor = HealthMonitor()
+        with tm.capture_events() as log:
+            with pytest.warns(RuntimeWarning):
+                monitor.alert("grad_norm", "x")
+        counters = tm.get_registry().snapshot()["counters"]
+        assert counters["health.alerts"]["total"] == 1
+        assert counters["health.alerts.grad_norm"]["total"] == 1
+        instants = [e for e in log.events() if e.kind == "I"]
+        assert instants and instants[0].name == "health.alert"
+        assert instants[0].args["check"] == "grad_norm"
+
+    def test_records_epochs_then_alerts(self):
+        monitor = HealthMonitor()
+        monitor.record_epoch(EpochHealth(epoch=0, loss=0.5))
+        with pytest.warns(RuntimeWarning):
+            monitor.alert("loss_spike", "x", value=2.0, threshold=1.0)
+        records = monitor.records()
+        assert [r["record"] for r in records] == ["health", "alert"]
+
+    def test_non_finite_value_serializes(self):
+        alert = HealthAlert(check="non_finite_loss", severity="fatal",
+                            message="NaN", value=float("nan"))
+        record = alert.to_record()
+        assert record["value"] == "nan"
+        json.dumps(record)                  # stays JSON-serializable
+
+
+# ----------------------------------------------------------------------
+# Engine hook
+# ----------------------------------------------------------------------
+
+class TestHealthHook:
+    def test_healthy_run_is_quiet_and_records_epochs(self):
+        module = Quadratic()
+        module.w.data[:] = 1.0
+        hook = HealthHook(module=module)
+        with tm.enabled():
+            with warnings.catch_warnings():
+                warnings.simplefilter("error", RuntimeWarning)
+                fit(module, hook, epochs=3)
+        monitor = hook.monitor
+        assert monitor.alert_count == 0
+        assert [e.epoch for e in monitor.epochs] == [0, 1, 2]
+        for epoch in monitor.epochs:
+            assert set(epoch.grad_norm) == {"w"}
+            assert epoch.grad_norm["w"] > 0.0
+            assert epoch.update_ratio["w"] > 0.0
+            assert epoch.batches == 2
+        gauges = tm.get_registry().snapshot()["gauges"]
+        assert "health.grad_norm.w" in gauges
+        assert "health.update_ratio.w" in gauges
+
+    def test_update_ratio_tracks_relative_weight_change(self):
+        # From w=0, |W_start| hits the 1e-12 floor, so epoch 0's ratio is
+        # huge; start from a known weight instead and bound the ratio.
+        module = Quadratic()
+        module.w.data[:] = 1.0
+        hook = HealthHook(module=module,
+                          config=HealthConfig(update_ratio_max=1e9))
+        fit(module, hook, epochs=1, lr=0.1)
+        ratio = hook.monitor.epochs[0].update_ratio["w"]
+        # two Adam steps of ~lr each from |W|=2: ratio ~ 0.1, never huge
+        assert 0.0 < ratio < 1.0
+
+    def test_nan_loss_is_fatal(self):
+        module = Quadratic()
+
+        def nan_step(batch):
+            return module.loss() * float("nan")
+
+        hook = HealthHook(module=module)
+        # A NaN loss also poisons the gradients, so non_finite_grad
+        # warnings ride along — capture all of them, then assert the
+        # loss alert is among them.
+        with pytest.warns(RuntimeWarning) as captured:
+            fit(module, hook, step=nan_step)
+        assert any("health[non_finite_loss]" in str(w.message)
+                   for w in captured)
+        checks = {a.check for a in hook.monitor.alerts}
+        assert "non_finite_loss" in checks
+        assert all(a.severity == "fatal"
+                   for a in hook.monitor.alerts
+                   if a.check == "non_finite_loss")
+
+    def test_nan_loss_raises_under_strict_policy(self):
+        module = Quadratic()
+
+        def nan_step(batch):
+            return module.loss() * float("nan")
+
+        hook = HealthHook(module=module,
+                          config=HealthConfig(policy="raise"))
+        with pytest.raises(HealthError, match="non_finite_loss"):
+            fit(module, hook, step=nan_step)
+
+    def test_non_finite_grad_detected(self):
+        module = Quadratic()
+
+        class Poison(HealthHook):
+            def on_batch_end(self, engine, epoch, index, loss):
+                module.w.grad[0] = float("inf")
+                HealthHook.on_batch_end(self, engine, epoch, index, loss)
+
+        hook = Poison(module=module)
+        with pytest.warns(RuntimeWarning, match="non_finite_grad"):
+            fit(module, hook)
+        assert any(a.check == "non_finite_grad" and a.severity == "fatal"
+                   for a in hook.monitor.alerts)
+
+    def test_grad_norm_threshold(self):
+        module = Quadratic()
+        hook = HealthHook(module=module,
+                          config=HealthConfig(grad_norm_max=1e-9))
+        with pytest.warns(RuntimeWarning, match=r"health\[grad_norm\]"):
+            fit(module, hook)
+        alert = [a for a in hook.monitor.alerts if a.check == "grad_norm"][0]
+        assert alert.value > alert.threshold
+        assert alert.context["group"] == "w"
+
+    def test_update_ratio_threshold(self):
+        module = Quadratic()
+        module.w.data[:] = 1.0
+        hook = HealthHook(module=module,
+                          config=HealthConfig(update_ratio_max=1e-12))
+        with pytest.warns(RuntimeWarning, match=r"health\[update_ratio\]"):
+            fit(module, hook)
+        assert any(a.check == "update_ratio" for a in hook.monitor.alerts)
+
+    def test_loss_spike_detector(self):
+        module = Quadratic()
+        losses = iter([1.0, 1.0, 1.0, 1.0, 100.0, 1.0])
+
+        def scripted_step(batch):
+            return module.loss() * 0.0 + next(losses)
+
+        hook = HealthHook(module=module,
+                          config=HealthConfig(loss_spike_warmup=3,
+                                              loss_spike_ratio=3.0))
+        with pytest.warns(RuntimeWarning, match=r"health\[loss_spike\]"):
+            fit(module, hook, batches=6, step=scripted_step)
+        spikes = [a for a in hook.monitor.alerts if a.check == "loss_spike"]
+        assert len(spikes) == 1
+        assert spikes[0].value == pytest.approx(100.0)
+
+    def test_no_spike_during_warmup(self):
+        module = Quadratic()
+        losses = iter([1.0, 100.0])
+
+        def scripted_step(batch):
+            return module.loss() * 0.0 + next(losses)
+
+        hook = HealthHook(module=module,
+                          config=HealthConfig(loss_spike_warmup=8))
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", RuntimeWarning)
+            fit(module, hook, batches=2, step=scripted_step)
+        assert not any(a.check == "loss_spike"
+                       for a in hook.monitor.alerts)
+
+    def test_optimizer_fallback_group(self):
+        # No module: the hook reads engine.optimizer.params as "model".
+        module = Quadratic()
+        hook = HealthHook()
+        fit(module, hook)
+        assert set(hook.monitor.epochs[0].grad_norm) == {"model"}
+
+
+# ----------------------------------------------------------------------
+# Standalone monitors
+# ----------------------------------------------------------------------
+
+class TestStandaloneMonitors:
+    def test_ppr_residual_below_cap_is_quiet(self):
+        monitor = HealthMonitor()
+        assert check_ppr_residual(0.1, 100, monitor) is None
+        assert monitor.alert_count == 0
+
+    def test_ppr_residual_drift_alerts(self):
+        monitor = HealthMonitor()
+        with tm.enabled(), pytest.warns(RuntimeWarning,
+                                        match=r"health\[ppr_residual\]"):
+            alert = check_ppr_residual(50.0, 100, monitor)
+        assert alert.value == pytest.approx(0.5)
+        gauges = tm.get_registry().snapshot()["gauges"]
+        assert gauges["health.ppr_residual_per_user"]["value"] == \
+            pytest.approx(0.5)
+
+    def test_sampler_exhaustion_cap(self):
+        monitor = HealthMonitor()
+        assert check_sampler(0, monitor) is None
+        with pytest.warns(RuntimeWarning, match="sampler_exhausted"):
+            assert check_sampler(3, monitor) is not None
+
+    def test_check_snapshot_scans_registry_dump(self):
+        monitor = HealthMonitor()
+        snapshot = {
+            "counters": {"train.sampler_exhausted": {"total": 2.0}},
+            "gauges": {"ppr.residual_mass": {"value": 30.0},
+                       "ppr.num_users": {"value": 100.0}},
+        }
+        with pytest.warns(RuntimeWarning):
+            alerts = check_snapshot(snapshot, monitor)
+        assert {a.check for a in alerts} == {"sampler_exhausted",
+                                             "ppr_residual"}
+
+    def test_check_snapshot_quiet_on_clean_dump(self):
+        monitor = HealthMonitor()
+        assert check_snapshot({"counters": {}, "gauges": {}}, monitor) == []
+
+
+# ----------------------------------------------------------------------
+# Trainer integrations
+# ----------------------------------------------------------------------
+
+@pytest.fixture(scope="module")
+def split():
+    return traditional_split(lastfm_like(seed=0, scale=0.1), seed=0)
+
+
+class TestTrainerIntegration:
+    def test_fit_with_health_policy_records_epochs(self, split):
+        rec = KUCNetRecommender(
+            KUCNetConfig(dim=8, depth=2, seed=0),
+            TrainConfig(epochs=2, k=5, seed=0, health_policy="warn"))
+        with tm.enabled():
+            rec.fit(split)
+        monitor = rec.health_monitor
+        assert monitor is not None
+        assert len(monitor.epochs) == 2
+        epoch = monitor.epochs[0]
+        assert epoch.grad_norm and epoch.update_ratio
+        gauges = tm.get_registry().snapshot()["gauges"]
+        assert any(name.startswith("health.grad_norm.")
+                   for name in gauges)
+
+    def test_no_monitor_by_default(self, split):
+        rec = KUCNetRecommender(
+            KUCNetConfig(dim=8, depth=2, seed=0),
+            TrainConfig(epochs=1, k=5, seed=0))
+        rec.prepare(split)
+        assert rec.health_monitor is None
+
+    def test_push_residual_checked_in_prepare(self, split):
+        # An absurdly loose epsilon leaves nearly all probability mass
+        # unpushed: the per-user residual blows through the cap.
+        rec = KUCNetRecommender(
+            KUCNetConfig(dim=8, depth=2, seed=0),
+            TrainConfig(epochs=1, k=5, seed=0, ppr_method="push",
+                        ppr_epsilon=10.0, health_policy="warn"))
+        with pytest.warns(RuntimeWarning, match=r"health\[ppr_residual\]"):
+            rec.prepare(split)
+        assert any(a.check == "ppr_residual"
+                   for a in rec.health_monitor.alerts)
+
+    def test_sampler_exhaustion_alerts(self, split):
+        rec = KUCNetRecommender(
+            KUCNetConfig(dim=8, depth=2, seed=0),
+            TrainConfig(epochs=1, k=5, seed=0, health_policy="warn"))
+        rec.prepare(split)
+        user = next(iter(rec._user_positives))
+        # Shrink the negative pool to exactly this user's positives: no
+        # negative can exist, the rejection loop saturates, and the
+        # exact-set-difference fallback comes up empty.
+        rec._train_item_pool = rec._user_positives[user].copy()
+        with tm.enabled(), pytest.warns(
+                RuntimeWarning, match=r"health\[sampler_exhausted\]"):
+            rec._sample_pairs([user], split)
+        assert any(a.check == "sampler_exhausted" and a.severity == "fatal"
+                   for a in rec.health_monitor.alerts)
+        counters = tm.get_registry().snapshot()["counters"]
+        assert counters["train.sampler_exhausted"]["total"] == 1
+        assert counters["health.alerts"]["total"] == 1
+
+    def test_sampler_exhaustion_raises_under_strict_policy(self, split):
+        rec = KUCNetRecommender(
+            KUCNetConfig(dim=8, depth=2, seed=0),
+            TrainConfig(epochs=1, k=5, seed=0, health_policy="raise"))
+        rec.prepare(split)
+        user = next(iter(rec._user_positives))
+        rec._train_item_pool = rec._user_positives[user].copy()
+        with pytest.raises(HealthError, match="sampler_exhausted"):
+            rec._sample_pairs([user], split)
+
+    def test_eval_nan_scores_guarded(self, split):
+        rec = KUCNetRecommender(
+            KUCNetConfig(dim=8, depth=2, seed=0),
+            TrainConfig(epochs=1, k=5, seed=0))
+        rec.prepare(split)
+
+        class NaNScorer:
+            def score_users(self, users):
+                scores = np.zeros((len(users), split.dataset.num_items))
+                scores[0, 0] = float("nan")
+                return scores
+
+        from repro.eval import evaluate
+        monitor = HealthMonitor(HealthConfig(policy="raise"))
+        with pytest.raises(HealthError, match="nan_scores"):
+            evaluate(NaNScorer(), split, health=monitor)
+
+
+# ----------------------------------------------------------------------
+# Records through the sinks
+# ----------------------------------------------------------------------
+
+class TestHealthSinkFlow:
+    def test_jsonl_round_trip_with_manifest(self, tmp_path):
+        monitor = HealthMonitor()
+        monitor.record_epoch(EpochHealth(
+            epoch=0, loss=0.7, grad_norm={"w": 0.2},
+            update_ratio={"w": 0.01}, batches=3))
+        with pytest.warns(RuntimeWarning):
+            monitor.alert("grad_norm", "big", value=2.0, threshold=1.0)
+        path = tmp_path / "health.jsonl"
+        with tm.enabled():
+            tm.counter("train.pairs", 10)
+        manifest = tm.RunManifest(run="health-test", seed=0)
+        lines = tm.write_jsonl(str(path), manifest=manifest,
+                               extra_records=monitor.records())
+        records = tm.read_jsonl(str(path))
+        assert lines == len(records)
+        kinds = [r["record"] for r in records]
+        assert kinds[0] == "manifest"
+        assert "health" in kinds and "alert" in kinds
+        health = [r for r in records if r["record"] == "health"][0]
+        assert health["grad_norm"] == {"w": 0.2}
+        # Old readers keep working: split_records skips the new kinds.
+        parsed_manifest, sections = tm.split_records(records)
+        assert parsed_manifest["run"] == "health-test"
+        assert sections["counter"]["train.pairs"]["total"] == 10

@@ -9,6 +9,7 @@ the training pipeline and the ``repro profile`` CLI subcommand.
 import json
 import threading
 import time
+import warnings
 
 import numpy as np
 import pytest
@@ -441,3 +442,161 @@ class TestProfileCLI:
 
         assert main(["profile", "--dataset", "nope"]) == 2
         assert "unknown dataset" in capsys.readouterr().err
+
+
+class TestSpanErrors:
+    """Satellite coverage: error accounting and mismatched-exit tolerance."""
+
+    def test_exception_records_error_flag_and_counter(self):
+        with tm.enabled():
+            with pytest.raises(ValueError):
+                with tm.span("risky"):
+                    raise ValueError("boom")
+            with tm.span("risky"):
+                pass
+        snap = tm.get_registry().snapshot()
+        assert snap["spans"]["risky"]["errors"] == 1
+        assert snap["spans"]["risky"]["count"] == 2
+        assert snap["counters"]["risky.errors"]["total"] == 1
+
+    def test_error_exit_times_like_a_clean_exit(self):
+        with tm.enabled():
+            with pytest.raises(RuntimeError):
+                with tm.span("timed.err"):
+                    time.sleep(0.002)
+                    raise RuntimeError("x")
+        stats = tm.get_registry().spans["timed.err"]
+        assert stats.count == 1
+        assert stats.total_seconds >= 0.002
+        assert stats.total_seconds == pytest.approx(stats.max_seconds)
+
+    def test_clean_exit_records_no_error(self):
+        with tm.enabled():
+            with tm.span("fine"):
+                pass
+        snap = tm.get_registry().snapshot()
+        assert snap["spans"]["fine"]["errors"] == 0
+        assert "fine.errors" not in snap["counters"]
+
+    def test_summary_table_shows_errors_column(self):
+        with tm.enabled():
+            with pytest.raises(ValueError):
+                with tm.span("risky"):
+                    raise ValueError("boom")
+        table = tm.summary_table()
+        header = [line for line in table.splitlines() if "errors" in line]
+        assert header, table
+
+    def test_generator_held_span_closed_from_another_frame(self):
+        """The mismatched-exit tolerance branch of ``Span.__exit__``.
+
+        A span opened inside a generator can be force-closed by an
+        *outer* span's exit (the generator was abandoned mid-flight);
+        when the generator is finalized its own ``__exit__`` runs with
+        the span no longer on the stack and must not double-record.
+        """
+        def held():
+            with tm.span("gen.inner"):
+                yield 1
+                yield 2
+
+        with tm.enabled():
+            with tm.capture_events() as log:
+                with tm.span("outer"):
+                    gen = held()
+                    next(gen)           # gen.inner now inside outer
+                # outer's exit force-closes the abandoned gen.inner
+                gen.close()             # inner's own __exit__: no re-emit
+        snap = tm.get_registry().snapshot()
+        assert snap["spans"]["outer"]["count"] == 1
+        assert snap["spans"]["gen.inner"]["count"] == 1
+        kinds = [(e.kind, e.name) for e in log.events()]
+        assert kinds == [("B", "outer"), ("B", "gen.inner"),
+                         ("E", "gen.inner"), ("E", "outer")]
+        tm.validate_chrome_trace(tm.to_chrome_trace(log))
+
+    def test_mismatched_exit_keeps_stack_consistent(self):
+        with tm.enabled():
+            held = tm.span("held")
+            with tm.span("outer"):
+                held.__enter__()
+            # "held" was force-closed by outer's exit; closing it again
+            # from this frame must not corrupt subsequent nesting.
+            held.__exit__(None, None, None)
+            with tm.span("outer"):
+                with tm.span("inner"):
+                    pass
+        spans = tm.get_registry().snapshot()["spans"]
+        assert spans["outer"]["count"] == 2
+        assert spans["inner"]["count"] == 1
+        # The forced close only balances the event stream; registry
+        # stats come from the span's own __exit__, exactly once.
+        assert spans["held"]["count"] == 1
+
+
+class TestMergeSnapshotSections:
+    """Satellite coverage: gauge/histogram merge from multiple workers."""
+
+    def _worker_snapshot(self, gauge_value, histogram_values, errors=0):
+        registry = tm.MetricsRegistry()
+        registry.set_gauge("w.gauge", gauge_value)
+        for value in histogram_values:
+            registry.observe("w.hist", value)
+        registry.record_span("w.span", 0.01, 0.01, error=bool(errors))
+        return registry.snapshot()
+
+    def test_gauges_take_last_write_in_merge_order(self):
+        registry = tm.MetricsRegistry()
+        registry.merge_snapshot(self._worker_snapshot(1.0, [1.0]))
+        registry.merge_snapshot(self._worker_snapshot(2.0, [2.0]))
+        snap = registry.snapshot()
+        assert snap["gauges"]["w.gauge"]["value"] == 2.0
+        assert snap["gauges"]["w.gauge"]["updates"] == 2
+
+    def test_histograms_accumulate_exact_aggregates(self):
+        registry = tm.MetricsRegistry()
+        registry.merge_snapshot(self._worker_snapshot(0.0, [1.0, 3.0]))
+        registry.merge_snapshot(self._worker_snapshot(0.0, [5.0]))
+        rec = registry.snapshot()["histograms"]["w.hist"]
+        assert rec["count"] == 3
+        assert rec["min"] == 1.0
+        assert rec["max"] == 5.0
+        assert rec["mean"] == pytest.approx(3.0)
+
+    def test_span_errors_accumulate_across_workers(self):
+        registry = tm.MetricsRegistry()
+        registry.merge_snapshot(self._worker_snapshot(0.0, [], errors=1))
+        registry.merge_snapshot(self._worker_snapshot(0.0, [], errors=1))
+        registry.merge_snapshot(self._worker_snapshot(0.0, [], errors=0))
+        rec = registry.snapshot()["spans"]["w.span"]
+        assert rec["count"] == 3
+        assert rec["errors"] == 2
+
+    def test_merge_tolerates_snapshots_without_errors_field(self):
+        snapshot = self._worker_snapshot(0.0, [])
+        del snapshot["spans"]["w.span"]["errors"]
+        registry = tm.MetricsRegistry()
+        registry.merge_snapshot(snapshot)
+        assert registry.snapshot()["spans"]["w.span"]["errors"] == 0
+
+
+class TestSplitRecordsManifests:
+    """Satellite coverage: duplicate-manifest warning in split_records."""
+
+    def test_duplicate_manifests_warn_and_keep_last(self):
+        records = [
+            tm.RunManifest(run="first").to_record(),
+            {"record": "counter", "name": "c", "total": 1.0, "updates": 1},
+            tm.RunManifest(run="second").to_record(),
+        ]
+        with pytest.warns(RuntimeWarning, match="multiple manifest"):
+            manifest, sections = tm.split_records(records)
+        assert manifest["run"] == "second"
+        assert sections["counter"]["c"]["total"] == 1.0
+
+    def test_single_manifest_stays_quiet(self):
+        records = [tm.RunManifest(run="only").to_record()]
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", RuntimeWarning)
+            manifest, _ = tm.split_records(records)
+        assert manifest["run"] == "only"

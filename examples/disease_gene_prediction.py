@@ -43,7 +43,7 @@ def main() -> None:
     disease = split.test_users[0]
     scores = model.score_users([disease])[0]
     top_gene = int(rank_items(scores, split.train.positives(disease), 1)[0])
-    propagation = model.propagate_users([disease])
+    propagation = model.propagate_users([disease], collect_attention=True)
     edges = explain(propagation, model.ckg, slot=0, item=top_gene,
                     threshold=0.3)
     print(f"\nwhy gene {top_gene} for new disease {disease}? "

@@ -29,7 +29,7 @@ def main() -> None:
         top_item = int(rank_items(scores, split.train.positives(user), 1)[0])
         hit = top_item in split.test_positives[user]
 
-        propagation = model.propagate_users([user])
+        propagation = model.propagate_users([user], collect_attention=True)
         edges = explain(propagation, model.ckg, slot=0, item=top_item,
                         threshold=0.5)
         if not edges:  # fall back to a looser threshold, as a small model

@@ -28,6 +28,40 @@ def numeric_gradient(fn: Callable[[], Tensor], tensor: Tensor, eps: float = 1e-6
     return grad
 
 
+def check_gradients_match(fn_a: Callable[[], Tensor], fn_b: Callable[[], Tensor],
+                          tensors: Sequence[Tensor],
+                          atol: float = 0.0, rtol: float = 1e-6) -> bool:
+    """Assert two scalar computations produce matching outputs and gradients.
+
+    Runs ``fn_a`` and ``fn_b`` (e.g. a fused kernel and its unfused
+    reference composition) over the same ``tensors``, backpropagates
+    each, and compares the forward values and every per-tensor gradient
+    within ``atol``/``rtol``.  The defaults demand near-bitwise
+    agreement; raises ``AssertionError`` naming the offender otherwise.
+    """
+    results = []
+    for fn in (fn_a, fn_b):
+        for tensor in tensors:
+            tensor.zero_grad()
+        out = fn()
+        out.backward()
+        results.append((out.data.copy(),
+                        [tensor.grad.copy() if tensor.grad is not None
+                         else np.zeros_like(tensor.data)
+                         for tensor in tensors]))
+    (value_a, grads_a), (value_b, grads_b) = results
+    if not np.allclose(value_a, value_b, atol=atol, rtol=rtol):
+        raise AssertionError(
+            f"forward mismatch: max abs err {np.abs(value_a - value_b).max():.3e}")
+    for position, (grad_a, grad_b) in enumerate(zip(grads_a, grads_b)):
+        if not np.allclose(grad_a, grad_b, atol=atol, rtol=rtol):
+            name = tensors[position].name
+            raise AssertionError(
+                f"gradient mismatch on tensor #{position} (name={name!r}): "
+                f"max abs err {np.abs(grad_a - grad_b).max():.3e}")
+    return True
+
+
 def check_gradients(fn: Callable[[], Tensor], tensors: Sequence[Tensor],
                     eps: float = 1e-6, atol: float = 1e-5, rtol: float = 1e-4) -> bool:
     """Compare autodiff gradients of scalar ``fn()`` against finite differences.

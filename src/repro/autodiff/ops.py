@@ -12,6 +12,7 @@ from typing import Optional, Sequence
 import numpy as np
 
 from ..telemetry import tracer as _tracer
+from .fused import fused_segment_softmax, fusion_enabled
 from .tensor import Tensor, _unbroadcast
 
 
@@ -137,7 +138,14 @@ def softmax(x: Tensor, axis: int = -1) -> Tensor:
 
 
 def segment_softmax(x: Tensor, segment_ids: np.ndarray, num_segments: int) -> Tensor:
-    """Softmax normalized within each segment (e.g. edges per node)."""
+    """Softmax normalized within each segment (e.g. edges per node).
+
+    Dispatches to the single-node fused kernel unless fusion is off
+    (``REPRO_FUSED=0``); the composition below is the reference
+    implementation the fused op is verified against (bitwise).
+    """
+    if fusion_enabled():
+        return fused_segment_softmax(x, segment_ids, num_segments)
     segment_ids = np.asarray(segment_ids, dtype=np.int64)
     # Stabilize per segment.
     seg_max = np.full((num_segments,) + x.data.shape[1:], -np.inf, dtype=x.data.dtype)

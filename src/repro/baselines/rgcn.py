@@ -17,7 +17,8 @@ from typing import List, Optional, Sequence
 
 import numpy as np
 
-from ..autodiff import (Embedding, Linear, Parameter, Tensor, gather_rows,
+from ..autodiff import (Embedding, Linear, Parameter, Tensor,
+                        fused_rgcn_messages, fusion_enabled, gather_rows,
                         segment_sum)
 from ..data import Split
 from .base import BaselineConfig, BPRModelRecommender
@@ -69,14 +70,22 @@ class RGCN(BPRModelRecommender):
         hidden = self.node_embedding.weight
         norm = Tensor(self._norm.reshape(-1, 1))
         for layer in range(self.num_layers):
-            source = gather_rows(hidden, self.ckg.heads)       # (E, d)
-            coeffs = gather_rows(self.basis_coeffs[layer], self.ckg.relations)
-            messages = None
-            for basis_index, basis in enumerate(self.bases[layer]):
-                term = basis(source) * _column(coeffs, basis_index)
-                messages = term if messages is None else messages + term
-            aggregated = segment_sum(messages, self.ckg.tails,
-                                     self.ckg.num_nodes) * norm
+            if fusion_enabled():
+                aggregated = fused_rgcn_messages(
+                    hidden, self.ckg.heads, self.ckg.relations,
+                    self.ckg.tails, self.ckg.num_nodes,
+                    [basis.weight for basis in self.bases[layer]],
+                    self.basis_coeffs[layer]) * norm
+            else:
+                source = gather_rows(hidden, self.ckg.heads)   # (E, d)
+                coeffs = gather_rows(self.basis_coeffs[layer],
+                                     self.ckg.relations)
+                messages = None
+                for basis_index, basis in enumerate(self.bases[layer]):
+                    term = basis(source) * _column(coeffs, basis_index)
+                    messages = term if messages is None else messages + term
+                aggregated = segment_sum(messages, self.ckg.tails,
+                                         self.ckg.num_nodes) * norm
             hidden = (aggregated + self.self_loops[layer](hidden)).relu()
         return hidden
 

@@ -44,7 +44,7 @@ GATED_HISTOGRAM_MAX = ("autodiff.tape_bytes",)
 #: counters surfaced in trend-report tables when present
 _TREND_COUNTERS = ("ppr.push_ops", "ppr.sweeps", "ppr.edges_kept",
                    "graph.edges", "autodiff.gather_rows",
-                   "autodiff.segment_sum")
+                   "autodiff.segment_sum", "autodiff.fused_calls")
 
 
 @dataclass(frozen=True)

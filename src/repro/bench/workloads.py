@@ -147,12 +147,17 @@ def _build_segment_sum(num_nodes: int, num_edges: int, dim: int):
     return run
 
 
-@register("autodiff.attention_layer",
-          "one full KUCNet propagation layer, forward+backward (Eq. 5-6)",
-          quick={"num_nodes": 2_000, "num_edges": 20_000, "dim": 32},
-          full={"num_nodes": 5_000, "num_edges": 100_000, "dim": 48})
-def _build_attention_layer(num_nodes: int, num_edges: int, dim: int):
-    from ..autodiff import Tensor
+def _build_attention_layer(num_nodes: int, num_edges: int, dim: int,
+                           fused: bool):
+    """Shared factory for the fused/reference attention-layer pair.
+
+    Both arms run the identical layer on identical inputs; the only
+    difference is :func:`~repro.autodiff.force_fusion`.  The
+    ``autodiff.tape_bytes`` histogram recorded by each arm is the
+    strict gate: the fused arm must tape far fewer bytes because the
+    super-op keeps no per-edge intermediates on the graph.
+    """
+    from ..autodiff import Tensor, force_fusion
     from ..core.layers import AttentionMessagePassing
     from ..sampling import LayerEdges
 
@@ -165,11 +170,38 @@ def _build_attention_layer(num_nodes: int, num_edges: int, dim: int):
                        heads=src, tails=dst)
 
     def run():
-        layer.zero_grad()
-        out, _ = layer(hidden, edges, num_nodes)
-        (out * out).sum().backward()
+        with force_fusion(fused):
+            layer.zero_grad()
+            out, _ = layer(hidden, edges, num_nodes)
+            (out * out).sum().backward()
 
     return run
+
+
+@register("autodiff.attention_layer.fused",
+          "one full KUCNet propagation layer, forward+backward (Eq. 5-6), "
+          "single fused tape node for the gather→attend→message→aggregate "
+          "chain",
+          quick={"num_nodes": 2_000, "num_edges": 20_000, "dim": 32,
+                 "fused": True},
+          full={"num_nodes": 5_000, "num_edges": 100_000, "dim": 48,
+                "fused": True})
+def _build_attention_layer_fused(num_nodes: int, num_edges: int, dim: int,
+                                 fused: bool):
+    return _build_attention_layer(num_nodes, num_edges, dim, fused)
+
+
+@register("autodiff.attention_layer.reference",
+          "the same layer through the unfused op-by-op composition "
+          "(REPRO_FUSED=0 path); tape_bytes vs the fused arm is the "
+          "memory win",
+          quick={"num_nodes": 2_000, "num_edges": 20_000, "dim": 32,
+                 "fused": False},
+          full={"num_nodes": 5_000, "num_edges": 100_000, "dim": 48,
+                "fused": False})
+def _build_attention_layer_reference(num_nodes: int, num_edges: int, dim: int,
+                                     fused: bool):
+    return _build_attention_layer(num_nodes, num_edges, dim, fused)
 
 
 # ----------------------------------------------------------------------

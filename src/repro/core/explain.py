@@ -58,6 +58,10 @@ def explain(propagation: Propagation, ckg: CollaborativeKG, slot: int,
     was never reached.
     """
     graph = propagation.graph
+    if any(weights is None for weights in propagation.attention):
+        raise ValueError(
+            "propagation carries no attention values — re-run propagate/"
+            "propagate_users with collect_attention=True before explain()")
     item_node = ckg.item_node(item)
     target_rows = {int(row) for row in
                    graph.rows_for_pairs(graph.depth, np.asarray([slot]),

@@ -23,7 +23,8 @@ from typing import Optional, Tuple
 import numpy as np
 
 from ..autodiff import (Dropout, Embedding, Linear, Module, Parameter,
-                        Tensor, gather_rows, segment_sum)
+                        Tensor, fused_attention_messages, fusion_enabled,
+                        gather_rows, segment_sum)
 from ..autodiff import init as ad_init
 from ..sampling import LayerEdges
 
@@ -72,7 +73,8 @@ class AttentionMessagePassing(Module):
         self.dropout = Dropout(dropout, rng=rng)
 
     def forward(self, hidden_prev: Tensor, edges: LayerEdges,
-                num_dst: int) -> Tuple[Tensor, np.ndarray]:
+                num_dst: int,
+                collect_attention: bool = False) -> Tuple[Tensor, Optional[np.ndarray]]:
         """Propagate one layer.
 
         Parameters
@@ -83,30 +85,53 @@ class AttentionMessagePassing(Module):
             This layer's edge list (positions into the node tables).
         num_dst:
             Row count of this layer's node table.
+        collect_attention:
+            Return the per-edge attention weights as a numpy copy for
+            the interpretability path (§V-F).  Off by default — the
+            training hot loop never consumes them, so it skips the
+            ``(E,)`` copy.
 
         Returns
         -------
-        ``(hidden, attention)`` where ``hidden`` is ``(num_dst, dim)`` and
-        ``attention`` the per-edge weights (numpy, for interpretability).
+        ``(hidden, attention)`` where ``hidden`` is ``(num_dst, dim)``
+        and ``attention`` the per-edge weights, or ``None`` unless
+        ``collect_attention``.
         """
         if edges.num_edges == 0:
             zero = Tensor(np.zeros((num_dst, self.dim)))
-            return zero, np.empty(0)
+            return zero, (np.empty(0) if collect_attention else None)
 
-        h_src = gather_rows(hidden_prev, edges.src_pos)
-        h_rel = self.relation_embedding(edges.relations)
-
-        if self.use_attention:
-            attn_hidden = (self.attn_source(h_src) + self.attn_relation(h_rel)
-                           + self.attn_bias).relu()
-            alpha = (attn_hidden @ self.attn_vector).sigmoid()
-            messages = self.message_transform(h_src + h_rel) * alpha.reshape(-1, 1)
-            attention_values = alpha.data.copy()
+        if fusion_enabled():
+            aggregated, attention_values = fused_attention_messages(
+                hidden_prev, edges.src_pos, edges.relations, edges.dst_pos,
+                num_dst,
+                relation_weight=self.relation_embedding.weight,
+                message_weight=self.message_transform.weight,
+                attn_source_weight=self.attn_source.weight,
+                attn_relation_weight=self.attn_relation.weight,
+                attn_bias=self.attn_bias,
+                attn_vector=self.attn_vector,
+                use_attention=self.use_attention,
+                collect_attention=collect_attention)
         else:
-            messages = self.message_transform(h_src + h_rel)
-            attention_values = np.ones(edges.num_edges)
+            # Reference composition (REPRO_FUSED=0); the fused kernel is
+            # verified bitwise-identical to this path.
+            h_src = gather_rows(hidden_prev, edges.src_pos)
+            h_rel = self.relation_embedding(edges.relations)
 
-        aggregated = segment_sum(messages, edges.dst_pos, num_dst)
+            if self.use_attention:
+                attn_hidden = (self.attn_source(h_src) + self.attn_relation(h_rel)
+                               + self.attn_bias).relu()
+                alpha = (attn_hidden @ self.attn_vector).sigmoid()
+                messages = self.message_transform(h_src + h_rel) * alpha.reshape(-1, 1)
+                attention_values = alpha.data.copy() if collect_attention else None
+            else:
+                messages = self.message_transform(h_src + h_rel)
+                attention_values = (np.ones(edges.num_edges)
+                                    if collect_attention else None)
+
+            aggregated = segment_sum(messages, edges.dst_pos, num_dst)
+
         activated = self._activate(aggregated)
         return self.dropout(activated), attention_values
 

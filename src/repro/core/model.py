@@ -48,7 +48,9 @@ class Propagation:
 
     graph: ComputationGraph
     hidden: List[Tensor]
-    attention: List[np.ndarray]
+    #: per-layer attention copies, or ``None`` entries when the forward
+    #: pass ran with ``collect_attention=False`` (the default hot path)
+    attention: List[Optional[np.ndarray]]
 
 
 class KUCNet(Module):
@@ -82,10 +84,14 @@ class KUCNet(Module):
             ad_init.xavier_uniform((self.config.dim,), rng=rng), name="readout")
 
     # ------------------------------------------------------------------
-    def propagate(self, graph: ComputationGraph) -> Propagation:
+    def propagate(self, graph: ComputationGraph,
+                  collect_attention: bool = False) -> Propagation:
         """Run ``L`` layers of message passing over ``graph``.
 
         The graph's depth must equal the model's configured depth.
+        ``collect_attention`` keeps per-edge attention copies for the
+        interpretability path (:func:`~repro.core.explain.explain`);
+        the training/eval hot loops leave it off.
         """
         if graph.depth != self.config.depth:
             raise ValueError(
@@ -93,10 +99,11 @@ class KUCNet(Module):
             )
         # h^0 = 0 for the user rows (Algorithm 1 line 1).
         hidden: List[Tensor] = [Tensor(np.zeros((graph.layer_size(0), self.config.dim)))]
-        attention: List[np.ndarray] = []
+        attention: List[Optional[np.ndarray]] = []
         for level, layer in enumerate(self.layers, start=1):
             state, alpha = layer(hidden[-1], graph.layers[level - 1],
-                                 graph.layer_size(level))
+                                 graph.layer_size(level),
+                                 collect_attention=collect_attention)
             hidden.append(state)
             attention.append(alpha)
         return Propagation(graph=graph, hidden=hidden, attention=attention)

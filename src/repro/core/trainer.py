@@ -459,8 +459,14 @@ class KUCNetRecommender:
         return self.model.score_all_items(propagation, self.ckg.item_nodes)
 
     def propagate_users(self, users: Sequence[int],
-                        k: Optional[int] = "default") -> Propagation:
-        """Forward pass over the (pruned) user-centric graphs of ``users``."""
+                        k: Optional[int] = "default",
+                        collect_attention: bool = False) -> Propagation:
+        """Forward pass over the (pruned) user-centric graphs of ``users``.
+
+        Pass ``collect_attention=True`` when the propagation feeds the
+        explanation extractor — scoring paths leave it off and skip the
+        per-edge attention copies.
+        """
         users = list(users)
         if k == "default":
             k = self.train_config.k
@@ -472,7 +478,8 @@ class KUCNetRecommender:
             k=k,
             sampler=self.train_config.sampler,
             rng=self._rng)
-        return self.model.propagate(graph)
+        return self.model.propagate(graph,
+                                    collect_attention=collect_attention)
 
     def score_users_via_ui_subgraphs(self, users: Sequence[int],
                                      items: Optional[Sequence[int]] = None) -> np.ndarray:

@@ -501,7 +501,8 @@ def run_fig7(profile: Optional[Profile] = None,
             scores = model.score_users([user])[0]
             top = int(rank_items(scores, split.train.positives(user), 1)[0])
             hit = top in split.test_positives[user]
-            propagation = model.propagate_users([user])
+            propagation = model.propagate_users([user],
+                                                collect_attention=True)
             edges = explain(propagation, model.ckg, 0, top, threshold=0.5)
             if not edges:
                 edges = explain(propagation, model.ckg, 0, top, threshold=0.2)

@@ -9,7 +9,8 @@ from hypothesis import strategies as st
 from hypothesis.extra import numpy as hnp
 
 from repro.autodiff import (Tensor, check_gradients, gather_rows,
-                            segment_softmax, segment_sum, softmax)
+                            segment_max, segment_softmax, segment_sum,
+                            softmax, where)
 
 
 finite_floats = st.floats(min_value=-3.0, max_value=3.0,
@@ -94,3 +95,72 @@ def test_addition_commutes_in_grad(a, b):
     ((tb2 + ta2) * (tb2 + ta2)).sum().backward()
     assert np.allclose(ta1.grad, ta2.grad)
     assert np.allclose(tb1.grad, tb2.grad)
+
+
+# ----------------------------------------------------------------------
+# segment_max / where / empty-segment segment_softmax gradients
+# ----------------------------------------------------------------------
+
+@settings(max_examples=25, deadline=None)
+@given(arrays((7, 3)),
+       hnp.arrays(np.int64, (7,), elements=st.integers(min_value=0, max_value=2)))
+def test_segment_max_grad_with_fill_segments(x, seg):
+    # num_segments=5 leaves segments 3 and 4 at the fill value; the
+    # gradient must still match finite differences (zero into the fill).
+    # Perturb toward distinct values so no tie straddles the fd epsilon.
+    x = x + np.arange(x.size).reshape(x.shape) * 1e-3
+    tx = Tensor(x, requires_grad=True)
+    check_gradients(lambda: (segment_max(tx, seg, 5).tanh() ** 2.0).sum(),
+                    [tx], atol=1e-4, rtol=1e-3)
+
+
+def test_segment_max_tie_routes_grad_to_every_argmax():
+    # Exact ties: the subgradient convention gives the full upstream
+    # gradient to *each* maximal row (mask is an equality test, not a
+    # partition) — pin that so a refactor cannot silently change it.
+    x = Tensor(np.asarray([2.0, 2.0, 1.0, 5.0]), requires_grad=True)
+    seg = np.asarray([0, 0, 0, 1])
+    segment_max(x, seg, 2).sum().backward()
+    assert np.array_equal(x.grad, np.asarray([1.0, 1.0, 0.0, 1.0]))
+
+
+def test_segment_max_empty_segment_keeps_fill():
+    x = Tensor(np.asarray([1.0, -4.0]), requires_grad=True)
+    out = segment_max(x, np.asarray([0, 0]), 3, fill=-7.5)
+    assert out.data[1] == -7.5 and out.data[2] == -7.5
+    out.sum().backward()
+    assert np.array_equal(x.grad, np.asarray([1.0, 0.0]))
+
+
+@settings(max_examples=25, deadline=None)
+@given(arrays((4, 3)), arrays((4, 3)),
+       hnp.arrays(np.bool_, (4, 3), elements=st.booleans()))
+def test_where_grad(a, b, condition):
+    ta = Tensor(a, requires_grad=True)
+    tb = Tensor(b, requires_grad=True)
+    check_gradients(lambda: (where(condition, ta, tb).tanh() ** 2.0).sum(),
+                    [ta, tb], atol=1e-4, rtol=1e-3)
+    # the selected branch gets the gradient, the other exactly zero
+    ta.zero_grad(); tb.zero_grad()
+    where(condition, ta, tb).sum().backward()
+    assert np.array_equal(ta.grad, condition.astype(np.float64))
+    assert np.array_equal(tb.grad, 1.0 - condition.astype(np.float64))
+
+
+@settings(max_examples=25, deadline=None)
+@given(arrays((6,)),
+       hnp.arrays(np.int64, (6,), elements=st.integers(min_value=0, max_value=2)))
+def test_segment_softmax_grad_with_empty_segments(x, seg):
+    # num_segments=5: at least two segments are empty; the op must stay
+    # finite there and its gradient must match finite differences on
+    # both the fused kernel and the reference composition.
+    from repro.autodiff import force_fusion
+    weights = Tensor(np.linspace(0.5, 2.0, 6))
+    for fused in (True, False):
+        tx = Tensor(x, requires_grad=True)
+        with force_fusion(fused):
+            out = segment_softmax(tx, seg, 5)
+            assert np.all(np.isfinite(out.data))
+            check_gradients(
+                lambda: (segment_softmax(tx, seg, 5) * weights).sum(),
+                [tx], atol=1e-4, rtol=1e-3)

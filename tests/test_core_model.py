@@ -30,9 +30,19 @@ class TestLayer:
                                         num_relations=ckg.num_relations,
                                         rng=np.random.default_rng(0))
         h0 = Tensor(np.zeros((graph.layer_size(0), 8)))
-        hidden, attention = layer(h0, graph.layers[0], graph.layer_size(1))
+        hidden, attention = layer(h0, graph.layers[0], graph.layer_size(1),
+                                  collect_attention=True)
         assert hidden.shape == (graph.layer_size(1), 8)
         assert attention.shape == (graph.layers[0].num_edges,)
+
+    def test_attention_omitted_by_default(self, setup):
+        _, _, ckg, graph = setup
+        layer = AttentionMessagePassing(dim=8, attn_dim=3,
+                                        num_relations=ckg.num_relations,
+                                        rng=np.random.default_rng(0))
+        h0 = Tensor(np.zeros((graph.layer_size(0), 8)))
+        _, attention = layer(h0, graph.layers[0], graph.layer_size(1))
+        assert attention is None
 
     def test_attention_in_unit_interval(self, setup):
         _, _, ckg, graph = setup
@@ -40,7 +50,8 @@ class TestLayer:
                                         num_relations=ckg.num_relations,
                                         rng=np.random.default_rng(0))
         h0 = Tensor(np.random.default_rng(0).normal(size=(graph.layer_size(0), 8)))
-        _, attention = layer(h0, graph.layers[0], graph.layer_size(1))
+        _, attention = layer(h0, graph.layers[0], graph.layer_size(1),
+                             collect_attention=True)
         assert np.all(attention >= 0)
         assert np.all(attention <= 1)
 
@@ -51,7 +62,8 @@ class TestLayer:
                                         use_attention=False,
                                         rng=np.random.default_rng(0))
         h0 = Tensor(np.zeros((graph.layer_size(0), 8)))
-        _, attention = layer(h0, graph.layers[0], graph.layer_size(1))
+        _, attention = layer(h0, graph.layers[0], graph.layer_size(1),
+                             collect_attention=True)
         assert np.all(attention == 1.0)
 
     def test_empty_layer_returns_zeros(self, setup):

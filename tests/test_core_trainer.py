@@ -144,7 +144,7 @@ class TestExplanations:
         user = small_split.test_users[0]
         scores = trained.score_users([user])[0]
         ranked = rank_items(scores, small_split.train.positives(user), 5)
-        propagation = trained.propagate_users([user])
+        propagation = trained.propagate_users([user], collect_attention=True)
         edges = explain(propagation, trained.ckg, slot=0, item=int(ranked[0]),
                         threshold=0.0)
         assert edges, "top recommendation must be explainable"
@@ -165,14 +165,14 @@ class TestExplanations:
         user = small_split.test_users[0]
         scores = trained.score_users([user])[0]
         ranked = rank_items(scores, small_split.train.positives(user), 5)
-        propagation = trained.propagate_users([user])
+        propagation = trained.propagate_users([user], collect_attention=True)
         loose = explain(propagation, trained.ckg, 0, int(ranked[0]), threshold=0.0)
         strict = explain(propagation, trained.ckg, 0, int(ranked[0]), threshold=0.99)
         assert len(strict) <= len(loose)
         assert all(e.attention >= 0.99 for e in strict)
 
     def test_unreached_item_yields_empty(self, trained):
-        propagation = trained.propagate_users([0])
+        propagation = trained.propagate_users([0], collect_attention=True)
         reached = {int(n) for n in propagation.graph.nodes[-1]}
         unreached = next(item for item in range(trained.ckg.num_items)
                          if trained.ckg.item_node(item) not in reached)
@@ -180,7 +180,7 @@ class TestExplanations:
 
     def test_render(self, small_split, trained):
         user = small_split.test_users[0]
-        propagation = trained.propagate_users([user])
+        propagation = trained.propagate_users([user], collect_attention=True)
         scores = trained.score_users([user])[0]
         ranked = rank_items(scores, small_split.train.positives(user), 1)
         edges = explain(propagation, trained.ckg, 0, int(ranked[0]), threshold=0.0)

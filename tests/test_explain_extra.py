@@ -24,7 +24,7 @@ class TestDotExport:
         user = split.test_users[0]
         scores = rec.score_users([user])[0]
         item = int(rank_items(scores, split.train.positives(user), 1)[0])
-        propagation = rec.propagate_users([user])
+        propagation = rec.propagate_users([user], collect_attention=True)
         edges = explain(propagation, rec.ckg, 0, item, threshold=0.0)
         dot = explanation_to_dot(edges, rec.ckg, title="demo")
         assert dot.startswith('digraph "demo"')

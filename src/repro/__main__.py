@@ -1,6 +1,16 @@
 """``python -m repro`` entry point."""
 
+import sys
+
 from .cli import main
 
 if __name__ == "__main__":
-    raise SystemExit(main())
+    try:
+        raise SystemExit(main())
+    except BrokenPipeError:
+        # Downstream pipe reader (e.g. `| head`) closed early; exit
+        # quietly with the conventional SIGPIPE status instead of a
+        # traceback.  Detach stdout so interpreter shutdown does not
+        # raise again while flushing.
+        sys.stdout = None
+        raise SystemExit(141)

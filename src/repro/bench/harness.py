@@ -169,6 +169,15 @@ def run_workload(workload: Workload, suite: str,
     snapshot = telemetry.get_registry().snapshot()
     telemetry.reset()
 
+    # The harness resets the live registry per workload, so a live
+    # /metrics scrape mid-suite would otherwise show only the workload
+    # in flight; hand the finished snapshot to the exporter (a single
+    # is-None check when none is running).  Imported here: runstore
+    # sits above bench in the layering (its diff engine is built on
+    # bench.compare), so a module-level import would be circular.
+    from ..runstore.exporter import publish_snapshot
+    publish_snapshot(snapshot)
+
     result = WorkloadResult(name=workload.name,
                             params=dict(workload.params[suite]),
                             warmup=config.warmup, seconds=seconds,

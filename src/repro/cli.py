@@ -12,6 +12,11 @@ Usage::
     python -m repro bench run [--suite quick|full] [--out FILE] [--workers N]
     python -m repro bench compare BASELINE CANDIDATE
     python -m repro bench report DIR [--out FILE]
+    python -m repro runs list [--dir DIR] [--kind KIND] [--limit N]
+    python -m repro runs show RUN [--dir DIR]
+    python -m repro runs diff BASELINE CANDIDATE [--dir DIR]
+    python -m repro runs trend [--dir DIR] [--counter NAME ...]
+    python -m repro runs gc --keep N [--dir DIR] [--dry-run]
 
 ``run`` executes one experiment runner (a paper table or figure) and
 prints the measured-vs-paper rows; ``datasets`` materializes the four
@@ -22,7 +27,12 @@ registered workloads into a ``BENCH_*.json`` artifact, gates a candidate
 dump against a baseline, and renders trend reports
 (see ``docs/benchmarking.md``); ``trace`` flight-records any other
 ``repro`` command into a Chrome/Perfetto trace and an optional
-folded-stack flamegraph (see ``docs/observability.md``).
+folded-stack flamegraph (see ``docs/observability.md``); ``runs``
+operates the persistent run registry (:mod:`repro.runstore`) that
+``run`` / ``profile`` / ``bench run`` append to when ``--runs-dir`` or
+``$REPRO_RUNS_DIR`` is set.  ``--serve-metrics PORT`` (or
+``$REPRO_METRICS_PORT``) additionally serves live Prometheus
+``/metrics`` + ``/healthz`` while any of those commands run.
 """
 
 from __future__ import annotations
@@ -35,6 +45,20 @@ from typing import List, Optional
 def _default_event_capacity() -> int:
     from .telemetry import DEFAULT_EVENT_CAPACITY
     return DEFAULT_EVENT_CAPACITY
+
+
+def _add_recording_flags(command: argparse.ArgumentParser) -> None:
+    """``--runs-dir`` / ``--serve-metrics`` on every recordable command."""
+    command.add_argument("--runs-dir", default=None, metavar="DIR",
+                         help="append this invocation to the run registry "
+                              "rooted here (default $REPRO_RUNS_DIR, or no "
+                              "recording)")
+    command.add_argument("--serve-metrics", type=int, default=None,
+                         metavar="PORT",
+                         help="serve live Prometheus /metrics and /healthz "
+                              "on this port while the command runs "
+                              "(0 = ephemeral port; default "
+                              "$REPRO_METRICS_PORT, or off)")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -56,6 +80,7 @@ def build_parser() -> argparse.ArgumentParser:
                      help="worker processes for per-user-chunk fan-out "
                           "(sets REPRO_NUM_WORKERS for the experiment; "
                           "default 1 = serial)")
+    _add_recording_flags(run)
 
     datasets = commands.add_parser("datasets",
                                    help="generate the synthetic datasets")
@@ -102,6 +127,7 @@ def build_parser() -> argparse.ArgumentParser:
     profile.add_argument("--health-out", default=None, metavar="FILE",
                          help="write telemetry + health records as JSONL "
                               "here (implies --health-policy warn)")
+    _add_recording_flags(profile)
 
     trace = commands.add_parser(
         "trace",
@@ -142,6 +168,7 @@ def build_parser() -> argparse.ArgumentParser:
     bench_run.add_argument("--workers", type=int, default=1,
                            help="worker processes for the timed repeats "
                                 "(the instrumented pass stays serial)")
+    _add_recording_flags(bench_run)
 
     bench_compare = bench_commands.add_parser(
         "compare", help="gate a candidate dump against a baseline dump")
@@ -166,6 +193,73 @@ def build_parser() -> argparse.ArgumentParser:
                               help="write the markdown here instead of stdout")
 
     bench_commands.add_parser("list", help="list registered workloads")
+
+    runs = commands.add_parser(
+        "runs",
+        help="persistent run registry: list / show / diff / trend / gc")
+    runs_commands = runs.add_subparsers(dest="runs_command", required=True)
+
+    def _add_dir(command: argparse.ArgumentParser) -> None:
+        command.add_argument("--dir", default=None, metavar="DIR",
+                             help="registry root (default $REPRO_RUNS_DIR "
+                                  "or .repro_runs)")
+
+    runs_list = runs_commands.add_parser(
+        "list", help="list recorded runs, oldest first")
+    _add_dir(runs_list)
+    runs_list.add_argument("--kind", default=None,
+                           help="only this run kind "
+                                "(train/profile/bench/experiment)")
+    runs_list.add_argument("--limit", type=int, default=None,
+                           help="show only the newest N runs")
+
+    runs_show = runs_commands.add_parser(
+        "show", help="one run's record, manifest, and counters")
+    _add_dir(runs_show)
+    runs_show.add_argument("run", help="run id (unique prefixes accepted)")
+
+    runs_diff = runs_commands.add_parser(
+        "diff", help="gate one run against another with the bench "
+                     "compare engine")
+    _add_dir(runs_diff)
+    runs_diff.add_argument("baseline",
+                           help="run id or BENCH_*.json path")
+    runs_diff.add_argument("candidate",
+                           help="run id or BENCH_*.json path")
+    runs_diff.add_argument("--counter-tol", type=float, default=0.10,
+                           help="relative tolerance on counter totals "
+                                "(strict gate, default 0.10)")
+    runs_diff.add_argument("--time-ratio", type=float, default=1.25,
+                           help="allowed median wall-time growth ratio")
+    runs_diff.add_argument("--iqr-scale", type=float, default=3.0,
+                           help="baseline IQRs of extra wall slack")
+    runs_diff.add_argument("--strict-time", action="store_true",
+                           help="escalate wall-time findings to failures")
+
+    runs_trend = runs_commands.add_parser(
+        "trend", help="per-counter history with robust-z anomaly flags")
+    _add_dir(runs_trend)
+    runs_trend.add_argument("--kind", default=None,
+                            help="only this run kind")
+    runs_trend.add_argument("--counter", action="append", default=None,
+                            metavar="NAME",
+                            help="trend this counter (repeatable; default: "
+                                 "the bench trend set + health.alerts)")
+    runs_trend.add_argument("--limit", type=int, default=None,
+                            help="only the newest N runs")
+    runs_trend.add_argument("--threshold", type=float, default=3.0,
+                            help="|robust z| at which a value is flagged "
+                                 "(default 3.0)")
+
+    runs_gc = runs_commands.add_parser(
+        "gc", help="delete all but the newest runs")
+    _add_dir(runs_gc)
+    runs_gc.add_argument("--keep", type=int, required=True,
+                         help="runs to keep (newest)")
+    runs_gc.add_argument("--kind", default=None,
+                         help="only collect runs of this kind")
+    runs_gc.add_argument("--dry-run", action="store_true",
+                         help="print what would be removed, remove nothing")
     return parser
 
 
@@ -182,24 +276,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         return 0
 
     if args.command == "run":
-        import os
-        from .experiments import EXPERIMENTS, PROFILES, active_profile
-        if args.experiment not in EXPERIMENTS:
-            print(f"unknown experiment {args.experiment!r}; "
-                  f"choose from {sorted(EXPERIMENTS)}", file=sys.stderr)
-            return 2
-        if args.workers is not None:
-            # Experiment runners build their own TrainConfig instances;
-            # the environment default is how the worker count reaches
-            # every one of them (see repro.parallel.resolve_workers).
-            os.environ["REPRO_NUM_WORKERS"] = str(args.workers)
-        profile = PROFILES[args.profile] if args.profile else active_profile()
-        result = EXPERIMENTS[args.experiment](profile)
-        print(result.render())
-        if args.output:
-            path = result.save(args.output, args.experiment)
-            print(f"[saved {path}]")
-        return 0
+        return _run_experiment(args)
 
     if args.command == "datasets":
         import os
@@ -220,11 +297,191 @@ def main(argv: Optional[List[str]] = None) -> int:
     if args.command == "bench":
         return _run_bench(args)
 
+    if args.command == "runs":
+        return _run_runs(args)
+
     # Defensive fallback: argparse rejects unknown subcommands itself, but
     # if a registered command ever goes unhandled we still fail loudly
     # instead of silently succeeding.
     parser.print_usage(sys.stderr)
     print(f"repro: unhandled command {args.command!r}", file=sys.stderr)
+    return 2
+
+
+def _recording(args: argparse.Namespace):
+    """Context resolving the run registry + live exporter for a command.
+
+    Yields the :class:`~repro.runstore.RunStore` to commit into (or
+    ``None`` when recording is off).  While active:
+
+    * the live Prometheus exporter runs when ``--serve-metrics`` or
+      ``$REPRO_METRICS_PORT`` asks for it (left running if an outer
+      command — e.g. ``repro trace`` around ``bench run`` — already
+      started one);
+    * trainer-level auto-commits are suppressed, so a command that fits
+      models internally records exactly one run — its own.
+    """
+    import contextlib
+    import os
+
+    from . import runstore
+
+    @contextlib.contextmanager
+    def _context():
+        store = runstore.active_store(getattr(args, "runs_dir", None))
+        port = getattr(args, "serve_metrics", None)
+        if port is None:
+            env_port = os.environ.get(runstore.ENV_METRICS_PORT, "")
+            if env_port:
+                port = int(env_port)
+        started = False
+        if port is not None and runstore.active_exporter() is None:
+            exporter = runstore.start_exporter(port)
+            started = True
+            print(f"[metrics {exporter.url}/metrics]", file=sys.stderr)
+        try:
+            with runstore.suppress_auto_commit():
+                yield store
+        finally:
+            if started:
+                runstore.stop_exporter()
+
+    return _context()
+
+
+def _run_experiment(args: argparse.Namespace) -> int:
+    """``repro run``: one experiment runner, optionally registered."""
+    import contextlib
+    import os
+    import time
+
+    from . import telemetry
+    from .experiments import EXPERIMENTS, PROFILES, active_profile
+
+    if args.experiment not in EXPERIMENTS:
+        print(f"unknown experiment {args.experiment!r}; "
+              f"choose from {sorted(EXPERIMENTS)}", file=sys.stderr)
+        return 2
+    if args.workers is not None:
+        # Experiment runners build their own TrainConfig instances;
+        # the environment default is how the worker count reaches
+        # every one of them (see repro.parallel.resolve_workers).
+        os.environ["REPRO_NUM_WORKERS"] = str(args.workers)
+    profile = PROFILES[args.profile] if args.profile else active_profile()
+
+    with _recording(args) as store:
+        # Recording implies instrumentation: the committed snapshot
+        # needs the experiment.* / train.* counters populated.
+        instrumented = (telemetry.enabled()
+                        if store is not None or args.serve_metrics is not None
+                        else contextlib.nullcontext())
+        if store is not None:
+            telemetry.reset()
+        started = time.perf_counter()
+        with instrumented:
+            result = EXPERIMENTS[args.experiment](profile)
+        wall = time.perf_counter() - started
+
+        print(result.render())
+        if args.output:
+            path = result.save(args.output, args.experiment)
+            print(f"[saved {path}]")
+
+        if store is not None:
+            metrics = {f"{row}.{column}": value
+                       for row, cells in getattr(result, "rows", {}).items()
+                       for column, value in cells.items()
+                       if isinstance(value, (int, float))}
+            manifest = telemetry.RunManifest(
+                run=f"experiment:{args.experiment}",
+                config={"profile": getattr(profile, "name", str(profile)),
+                        "workers": args.workers},
+                metrics=metrics)
+            record = store.commit(
+                "experiment", manifest,
+                snapshot=telemetry.get_registry().snapshot(),
+                wall_seconds=wall)
+            print(f"[run {record.run_id} -> {store.root}]", file=sys.stderr)
+    return 0
+
+
+def _run_runs(args: argparse.Namespace) -> int:
+    """``repro runs list|show|diff|trend|gc`` (docs/observability.md)."""
+    import json
+    import os
+    import time
+
+    from . import runstore
+    from .bench import CompareConfig
+
+    root = (args.dir or os.environ.get(runstore.ENV_RUNS_DIR, "")
+            or runstore.DEFAULT_RUNS_DIR)
+    store = runstore.RunStore(root)
+
+    if args.runs_command == "list":
+        records = store.records(kind=args.kind, limit=args.limit)
+        if not records:
+            print(f"no runs recorded in {store.root}")
+            return 0
+        for record in records:
+            date = time.strftime("%Y-%m-%d %H:%M:%S",
+                                 time.gmtime(record.created_unix))
+            alerts = (f"{record.alerts} alert(s)" if record.alerts
+                      else "healthy")
+            print(f"{record.run_id:40s} {record.kind:10s} {date}  "
+                  f"{record.wall_seconds:8.2f}s  {alerts}  {record.name}")
+        return 0
+
+    if args.runs_command == "show":
+        try:
+            record = store.get(args.run)
+        except KeyError as error:
+            print(f"repro runs show: {error.args[0]}", file=sys.stderr)
+            return 2
+        print(json.dumps(record.to_record(), indent=2, sort_keys=True))
+        if store.has_file(record.run_id, "manifest.json"):
+            print()
+            print(json.dumps(store.load_manifest(record.run_id), indent=2,
+                             sort_keys=True))
+        return 0
+
+    if args.runs_command == "diff":
+        config = CompareConfig(
+            counter_tol=args.counter_tol, time_ratio=args.time_ratio,
+            iqr_scale=args.iqr_scale, strict_time=args.strict_time)
+        try:
+            base_label, cand_label, result = runstore.diff_runs(
+                store, args.baseline, args.candidate, config)
+        except (KeyError, OSError, ValueError) as error:
+            message = error.args[0] if error.args else error
+            print(f"repro runs diff: {message}", file=sys.stderr)
+            return 2
+        print(f"baseline  {base_label}")
+        print(f"candidate {cand_label}")
+        print(result.render())
+        return 0 if result.passed else 1
+
+    if args.runs_command == "trend":
+        report = runstore.compute_trend(
+            store, counters=args.counter, kind=args.kind,
+            limit=args.limit, threshold=args.threshold)
+        print(runstore.render_trend(report), end="")
+        return 0
+
+    if args.runs_command == "gc":
+        try:
+            removed = store.gc(keep=args.keep, kind=args.kind,
+                               dry_run=args.dry_run)
+        except ValueError as error:
+            print(f"repro runs gc: {error.args[0]}", file=sys.stderr)
+            return 2
+        verb = "would remove" if args.dry_run else "removed"
+        print(f"{verb} {len(removed)} run(s)"
+              + (": " + ", ".join(removed) if removed else ""))
+        return 0
+
+    print(f"repro runs: unhandled subcommand {args.runs_command!r}",
+          file=sys.stderr)
     return 2
 
 
@@ -309,13 +566,18 @@ def _run_profile(args: argparse.Namespace) -> int:
     if args.trace_out and not telemetry.events_enabled():
         recorder = telemetry.capture_events()
 
+    import time as _time
+
     telemetry.reset()
-    with recorder as event_log, telemetry.enabled():
+    with _recording(args) as store, recorder as event_log, \
+            telemetry.enabled():
+        fit_started = _time.perf_counter()
         model = KUCNetRecommender(model_config, train_config)
         model.fit(split)
         result = evaluate(model, split, max_users=32, seed=args.seed,
                           num_workers=args.workers,
                           health=model.health_monitor)
+        wall_seconds = _time.perf_counter() - fit_started
 
     manifest = telemetry.RunManifest(
         run=f"profile:{args.dataset}",
@@ -329,6 +591,16 @@ def _run_profile(args: argparse.Namespace) -> int:
     )
 
     monitor = model.health_monitor
+    if store is not None:
+        record = store.commit(
+            "profile", manifest,
+            snapshot=telemetry.get_registry().snapshot(),
+            health_records=list(monitor.records()) if monitor else None,
+            event_trace=(telemetry.to_chrome_trace(
+                event_log, metadata={"cmd": ["profile", args.dataset]})
+                if event_log is not None else None),
+            wall_seconds=wall_seconds)
+        print(f"[run {record.run_id} -> {store.root}]", file=sys.stderr)
     if event_log is not None:
         events = telemetry.write_chrome_trace(
             args.trace_out, event_log,
@@ -376,21 +648,41 @@ def _run_bench(args: argparse.Namespace) -> int:
         return 0
 
     if args.bench_command == "run":
+        from . import telemetry
+
         config = bench.HarnessConfig(
             warmup=args.warmup, min_repeats=args.min_repeats,
             max_repeats=args.max_repeats,
             budget_seconds=args.budget_seconds,
             num_workers=args.workers)
-        try:
-            report = bench.run_suite(args.suite, names=args.workload,
-                                     config=config, verbose=True)
-        except KeyError as error:
-            print(f"repro bench: {error.args[0]}", file=sys.stderr)
-            return 2
-        out = args.out or f"BENCH_{args.suite}.json"
-        bench.save_report(report, out)
-        print(f"[wrote {out}: {len(report['workloads'])} workloads, "
-              f"git {report['git_sha'][:10]}]")
+        with _recording(args) as store:
+            try:
+                report = bench.run_suite(args.suite, names=args.workload,
+                                         config=config, verbose=True)
+            except KeyError as error:
+                print(f"repro bench: {error.args[0]}", file=sys.stderr)
+                return 2
+            out = args.out or f"BENCH_{args.suite}.json"
+            bench.save_report(report, out)
+            print(f"[wrote {out}: {len(report['workloads'])} workloads, "
+                  f"git {report['git_sha'][:10]}]")
+
+            if store is not None:
+                # One merged cross-workload snapshot, so `runs trend`
+                # sees the suite's counters without opening bench.json.
+                merged = telemetry.MetricsRegistry()
+                for entry in report["workloads"].values():
+                    merged.merge_snapshot(entry["telemetry"])
+                manifest = telemetry.RunManifest.from_record(
+                    report["manifest"])
+                record = store.commit(
+                    "bench", manifest, snapshot=merged.snapshot(),
+                    bench_report=report,
+                    wall_seconds=sum(
+                        entry["median_seconds"]
+                        for entry in report["workloads"].values()))
+                print(f"[run {record.run_id} -> {store.root}]",
+                      file=sys.stderr)
         return 0
 
     if args.bench_command == "compare":

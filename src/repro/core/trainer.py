@@ -274,6 +274,23 @@ class KUCNetRecommender:
         if config.patience is not None:
             hooks.append(EarlyStopping(patience=config.patience,
                                        min_improvement=config.min_improvement))
+        # Run-registry commit on fit end ($REPRO_RUNS_DIR, see
+        # repro.runstore).  Imported lazily: runstore sits above bench,
+        # which imports this module.  Appended after History so the
+        # committed manifest sees the full epoch history.
+        from ..runstore import (RunRecorderHook, active_store,
+                                auto_commit_suppressed)
+        if active_store() is not None and not auto_commit_suppressed():
+            def _manifest() -> telemetry.RunManifest:
+                metrics = {"epochs_run": len(history.stats)}
+                if history.stats:
+                    metrics["final_loss"] = float(history.stats[-1].loss)
+                return telemetry.RunManifest(
+                    run="train:kucnet", seed=config.seed, config=config,
+                    dataset=split.dataset.statistics(), metrics=metrics)
+
+            hooks.append(RunRecorderHook(
+                _manifest, health_monitor=self.health_monitor))
         engine = Engine(self.optimizer, hooks=hooks)
         self.history = history.stats
         engine.fit(step=lambda users: self._train_step(users, split),

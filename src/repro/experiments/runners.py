@@ -54,6 +54,7 @@ def _averaged_eval(method_name: str, dataset_name: str, setting: str,
             split = _make_split(dataset, setting, seed=seed, fold=fold)
             model = make_method(method_name, dataset_name, setting, profile,
                                 seed=seed)
+            telemetry.counter("experiment.fits")
             model.fit(split)
             result = evaluate(model, split, max_users=profile.eval_users,
                               seed=seed)

@@ -1,0 +1,46 @@
+"""Persistent cross-run observability: registry, diff/trend, live export.
+
+Three pieces turn the ephemeral telemetry layer into an operable system:
+
+* :class:`RunStore` (:mod:`.store`) — an append-only on-disk registry;
+  every ``repro run`` / ``profile`` / ``bench`` / experiment invocation
+  commits a run directory (manifest + merged metrics snapshot + health
+  records + optional bench report / event trace) and one
+  ``index.jsonl`` line.  Enable with ``$REPRO_RUNS_DIR`` or the CLI's
+  ``--runs-dir``.
+* ``repro runs`` CLI (:mod:`.diff`, :mod:`.trend`, wired in
+  :mod:`repro.cli`) — ``list`` / ``show`` / ``diff`` / ``trend`` /
+  ``gc``; ``diff`` reuses the bench compare gates, ``trend`` streams
+  the index lazily and flags robust-z anomalies.
+* :class:`MetricsExporter` (:mod:`.exporter`) — an opt-in stdlib HTTP
+  endpoint serving Prometheus text-format ``/metrics`` and a JSON
+  ``/healthz`` from the live registry, so long PPR precompute and
+  training jobs can be scraped mid-flight (``$REPRO_METRICS_PORT`` or
+  ``--serve-metrics``).
+
+See ``docs/observability.md`` ("Run registry", "Live metrics
+endpoint") for the run-directory schema and scrape examples.
+"""
+
+from .diff import diff_runs, resolve_report, run_as_report
+from .exporter import (ENV_METRICS_PORT, MetricsExporter, active_exporter,
+                       publish_snapshot, render_prometheus, start_exporter,
+                       stop_exporter, validate_prometheus_text)
+from .hook import RunRecorderHook
+from .store import (DEFAULT_RUNS_DIR, ENV_RUNS_DIR, RUN_KINDS, RunRecord,
+                    RunStore, active_store, auto_commit_suppressed,
+                    suppress_auto_commit)
+from .trend import (DEFAULT_TREND_COUNTERS, CounterTrend, TrendReport,
+                    compute_trend, render_trend, robust_z_scores)
+
+__all__ = [
+    "RunStore", "RunRecord", "RUN_KINDS", "ENV_RUNS_DIR", "DEFAULT_RUNS_DIR",
+    "active_store", "suppress_auto_commit", "auto_commit_suppressed",
+    "RunRecorderHook",
+    "diff_runs", "resolve_report", "run_as_report",
+    "compute_trend", "render_trend", "robust_z_scores",
+    "CounterTrend", "TrendReport", "DEFAULT_TREND_COUNTERS",
+    "MetricsExporter", "render_prometheus", "validate_prometheus_text",
+    "start_exporter", "stop_exporter", "active_exporter",
+    "publish_snapshot", "ENV_METRICS_PORT",
+]

@@ -1,0 +1,108 @@
+"""``repro runs diff``: gate one stored run against another.
+
+The diff deliberately reuses the bench comparison engine
+(:func:`repro.bench.compare_reports`) instead of growing a second gate
+implementation: strict deterministic counter gates (plus the
+``autodiff.tape_bytes`` histogram-max gate) and the advisory IQR-scaled
+wall-time gate apply to *any* pair of runs, not just ``BENCH_*.json``
+files.  Two source shapes feed it:
+
+* **bench-kind runs** store the full ``BENCH_*.json`` report in their
+  run directory — diffing two of them is byte-for-byte the same
+  comparison ``repro bench compare`` performs, so a registry diff of
+  two quick-bench runs reproduces the bench verdict exactly;
+* **train / profile / experiment runs** have one merged registry
+  snapshot and one wall time.  They are wrapped as a pseudo-report with
+  a single workload named ``run:<kind>`` so the same counter gates
+  apply (the wall gate degrades gracefully: a single measurement has
+  zero IQR).
+
+Either side may also be a plain ``BENCH_*.json`` path, so a stored run
+can be gated against the committed baseline artifact directly.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Any, Dict, Optional, Tuple
+
+from ..bench.artifact import load_report, validate_report, SCHEMA
+from ..bench.compare import CompareConfig, CompareResult, compare_reports
+from .store import RunRecord, RunStore
+
+__all__ = ["resolve_report", "run_as_report", "diff_runs"]
+
+_EMPTY_TELEMETRY = {"spans": {}, "counters": {}, "gauges": {},
+                    "histograms": {}}
+
+
+def run_as_report(store: RunStore, record: RunRecord) -> Dict[str, Any]:
+    """A stored run rendered as a ``repro.bench/1`` report.
+
+    Bench-kind runs return their stored report verbatim; every other
+    kind becomes a single-workload pseudo-report whose one workload,
+    ``run:<kind>``, carries the run's merged telemetry snapshot and its
+    wall time as the sole timing sample.
+    """
+    if record.kind == "bench" and store.has_file(record.run_id, "bench.json"):
+        report = store.load_bench_report(record.run_id)
+        validate_report(report)
+        return report
+
+    telemetry: Dict[str, Any] = dict(_EMPTY_TELEMETRY)
+    if store.has_file(record.run_id, "metrics.json"):
+        snapshot = store.load_metrics(record.run_id)
+        telemetry = {section: snapshot.get(section, {})
+                     for section in _EMPTY_TELEMETRY}
+    manifest: Dict[str, Any] = {"record": "manifest", "run": record.name}
+    if store.has_file(record.run_id, "manifest.json"):
+        manifest = store.load_manifest(record.run_id)
+
+    wall = float(record.wall_seconds)
+    report = {
+        "schema": SCHEMA,
+        "suite": f"runstore:{record.kind}",
+        "git_sha": record.git_sha,
+        "machine": {},
+        "config": {"run_id": record.run_id},
+        "created_unix": float(record.created_unix),
+        "manifest": manifest,
+        "workloads": {
+            f"run:{record.kind}": {
+                "median_seconds": wall, "iqr_seconds": 0.0,
+                "min_seconds": wall, "max_seconds": wall,
+                "repeats": 1, "warmup": 0, "seconds": [wall],
+                "telemetry": telemetry,
+            },
+        },
+    }
+    validate_report(report)
+    return report
+
+
+def resolve_report(store: RunStore, ref: str
+                   ) -> Tuple[str, Dict[str, Any]]:
+    """Resolve a run id, run-id prefix, or report path to ``(label, report)``.
+
+    A ``ref`` naming an existing ``.json`` file loads as a bench
+    artifact; anything else is looked up in the registry index.
+    """
+    if ref.endswith(".json") and os.path.exists(ref):
+        return os.path.basename(ref), load_report(ref)
+    record = store.get(ref)
+    return record.run_id, run_as_report(store, record)
+
+
+def diff_runs(store: RunStore, baseline_ref: str, candidate_ref: str,
+              config: Optional[CompareConfig] = None
+              ) -> Tuple[str, str, CompareResult]:
+    """Gate ``candidate_ref`` against ``baseline_ref``.
+
+    Returns ``(baseline_label, candidate_label, CompareResult)``; the
+    result's ``passed`` drives the CLI exit code, matching
+    ``repro bench compare`` semantics.
+    """
+    baseline_label, baseline = resolve_report(store, baseline_ref)
+    candidate_label, candidate = resolve_report(store, candidate_ref)
+    result = compare_reports(baseline, candidate, config)
+    return baseline_label, candidate_label, result

@@ -1,0 +1,74 @@
+"""Engine hook committing finished fits into the active run registry.
+
+:class:`RunRecorderHook` is appended to a trainer's hook list (after
+:class:`~repro.engine.hooks.History`, so epoch stats are complete when
+it fires).  It is inert unless recording is enabled — committing only
+when :func:`~repro.runstore.active_store` resolves (``$REPRO_RUNS_DIR``
+or an explicit store) *and* no enclosing CLI command has claimed the
+commit via :func:`~repro.runstore.suppress_auto_commit` (``repro
+profile`` / ``bench run`` / experiment runners record one run for the
+whole invocation; without suppression every interior ``fit`` — e.g.
+the bench ``eval.rank`` build — would spam the index).
+
+The committed snapshot is the process registry at fit end.  Under
+:mod:`repro.parallel` fan-out, worker snapshots are merged into this
+registry by ``run_parallel`` before control ever returns to the
+trainer, so the commit always sees the merged totals.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Optional
+
+from .. import telemetry
+from ..engine.hooks import Engine, Hook
+from .store import RunStore, active_store, auto_commit_suppressed
+
+__all__ = ["RunRecorderHook"]
+
+
+class RunRecorderHook(Hook):
+    """Commit a ``kind="train"`` run when ``Engine.fit`` completes.
+
+    Parameters
+    ----------
+    manifest_fn:
+        Zero-argument callable building the run's
+        :class:`~repro.telemetry.RunManifest` — called only when a
+        commit actually happens, so trainers can defer metric
+        collection to fit end.
+    health_monitor:
+        Optional :class:`~repro.health.HealthMonitor`; its records
+        (epoch health + alerts) are stored alongside the metrics.
+    store:
+        Explicit registry; defaults to :func:`active_store` resolution
+        at fit end (late binding, so tests can flip the env var around
+        a single fit).
+    """
+
+    def __init__(self, manifest_fn: Callable[[], Any],
+                 health_monitor: Any = None,
+                 store: Optional[RunStore] = None):
+        self.manifest_fn = manifest_fn
+        self.health_monitor = health_monitor
+        self.store = store
+        self.last_record = None
+
+    def _resolve_store(self) -> Optional[RunStore]:
+        return self.store if self.store is not None else active_store()
+
+    def on_fit_end(self, engine: Engine) -> None:
+        if auto_commit_suppressed():
+            return
+        store = self._resolve_store()
+        if store is None:
+            return
+        manifest = self.manifest_fn()
+        health_records = None
+        if self.health_monitor is not None:
+            health_records = list(self.health_monitor.records())
+        self.last_record = store.commit(
+            kind="train", manifest=manifest,
+            snapshot=telemetry.get_registry().snapshot(),
+            health_records=health_records,
+            wall_seconds=float(engine.cumulative_seconds))

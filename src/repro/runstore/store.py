@@ -1,0 +1,332 @@
+"""The persistent run registry: durable cross-run observability.
+
+Every instrumented layer so far (spans, counters, the flight recorder,
+health alerts) is *ephemeral* — a run writes a one-off JSONL and the
+numbers are gone.  :class:`RunStore` makes runs durable: each committed
+run appends one directory under ``<root>/runs/<run_id>/`` holding
+
+* ``manifest.json`` — the :class:`~repro.telemetry.RunManifest` record
+  (provenance: config, seed, dataset shape, headline metrics);
+* ``metrics.json``  — the final :class:`~repro.telemetry.MetricsRegistry`
+  snapshot (spans / counters / gauges / histograms).  For parallel runs
+  this is the *merged* registry — worker snapshots are folded in by
+  :mod:`repro.parallel` before the commit ever happens;
+* ``health.json``   — health alert + epoch records, when a monitor ran;
+* ``bench.json``    — the full ``BENCH_*`` report, for bench-kind runs;
+* ``trace.json``    — an optional Chrome trace-event export;
+* ``record.json``   — the run's own index record, so a run directory is
+  self-describing even when detached from its index;
+
+plus one line appended to the registry's ``<root>/index.jsonl`` — an
+append-only log that ``repro runs list|trend`` stream lazily (the index
+carries every counter total, so trending over thousands of runs never
+opens a per-run file).
+
+The store is **opt-in**: :func:`active_store` returns ``None`` unless
+``$REPRO_RUNS_DIR`` is set or a directory is passed explicitly, so
+library use and the test suite record nothing by default.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import json
+import os
+import shutil
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterator, List, Optional
+
+from ..telemetry import RunManifest, read_jsonl
+
+__all__ = ["ENV_RUNS_DIR", "DEFAULT_RUNS_DIR", "RUN_KINDS", "RunRecord",
+           "RunStore", "active_store", "suppress_auto_commit",
+           "auto_commit_suppressed"]
+
+#: environment variable enabling the registry process-wide
+ENV_RUNS_DIR = "REPRO_RUNS_DIR"
+#: directory the ``repro runs`` CLI reads when neither flag nor env is set
+DEFAULT_RUNS_DIR = ".repro_runs"
+#: well-known run kinds (free-form strings are accepted too)
+RUN_KINDS = ("train", "profile", "bench", "experiment")
+
+_INDEX_NAME = "index.jsonl"
+_RUNS_SUBDIR = "runs"
+
+
+@dataclass
+class RunRecord:
+    """One ``index.jsonl`` line: the run's identity and headline numbers.
+
+    ``counters`` holds every counter total of the final merged registry
+    snapshot so trend analysis streams the index alone; ``metrics`` are
+    the manifest's numeric headline metrics (recall, loss, medians).
+    """
+
+    run_id: str
+    kind: str
+    name: str
+    created_unix: float
+    git_sha: str = "unknown"
+    wall_seconds: float = 0.0
+    metrics: Dict[str, float] = field(default_factory=dict)
+    counters: Dict[str, float] = field(default_factory=dict)
+    alerts: int = 0
+    files: List[str] = field(default_factory=list)
+
+    def to_record(self) -> Dict[str, Any]:
+        return {
+            "record": "run", "run_id": self.run_id, "kind": self.kind,
+            "name": self.name, "created_unix": float(self.created_unix),
+            "git_sha": self.git_sha,
+            "wall_seconds": float(self.wall_seconds),
+            "metrics": {k: float(v) for k, v in self.metrics.items()},
+            "counters": {k: float(v) for k, v in self.counters.items()},
+            "alerts": int(self.alerts), "files": list(self.files),
+        }
+
+    @classmethod
+    def from_record(cls, record: Dict[str, Any]) -> "RunRecord":
+        if record.get("record") != "run":
+            raise ValueError("not a run record")
+        return cls(run_id=str(record["run_id"]), kind=str(record["kind"]),
+                   name=str(record.get("name", "")),
+                   created_unix=float(record.get("created_unix", 0.0)),
+                   git_sha=str(record.get("git_sha", "unknown")),
+                   wall_seconds=float(record.get("wall_seconds", 0.0)),
+                   metrics=dict(record.get("metrics", {})),
+                   counters=dict(record.get("counters", {})),
+                   alerts=int(record.get("alerts", 0)),
+                   files=list(record.get("files", [])))
+
+
+def _numeric_items(mapping: Dict[str, Any]) -> Dict[str, float]:
+    """The float-coercible subset of a metrics dict (index payload).
+
+    Accepts numpy scalars alongside plain ints/floats; skips bools,
+    strings, and anything non-scalar.
+    """
+    out: Dict[str, float] = {}
+    for key, value in mapping.items():
+        if isinstance(value, (bool, str)):
+            continue
+        if isinstance(value, (int, float)):
+            out[str(key)] = float(value)
+        elif hasattr(value, "item") and getattr(value, "ndim", 1) == 0:
+            out[str(key)] = float(value.item())
+    return out
+
+
+class RunStore:
+    """Append-only registry of runs rooted at one directory."""
+
+    def __init__(self, root: str):
+        self.root = os.fspath(root)
+
+    # -- layout --------------------------------------------------------
+    @property
+    def index_path(self) -> str:
+        return os.path.join(self.root, _INDEX_NAME)
+
+    @property
+    def runs_dir(self) -> str:
+        return os.path.join(self.root, _RUNS_SUBDIR)
+
+    def run_dir(self, run_id: str) -> str:
+        return os.path.join(self.runs_dir, run_id)
+
+    def _new_run_id(self, kind: str, created: float) -> str:
+        stamp = time.strftime("%Y%m%dT%H%M%S", time.gmtime(created))
+        base = f"{stamp}-{kind}-{os.getpid()}"
+        run_id, sequence = base, 1
+        while os.path.exists(self.run_dir(run_id)):
+            run_id = f"{base}-{sequence}"
+            sequence += 1
+        return run_id
+
+    # -- writing -------------------------------------------------------
+    def commit(self, kind: str, manifest: RunManifest,
+               snapshot: Optional[Dict[str, Any]] = None,
+               health_records: Optional[List[Dict[str, Any]]] = None,
+               bench_report: Optional[Dict[str, Any]] = None,
+               event_trace: Optional[Dict[str, Any]] = None,
+               wall_seconds: float = 0.0) -> RunRecord:
+        """Write one run directory and append its index line.
+
+        ``snapshot`` must be the run's *final, merged* registry snapshot
+        (``MetricsRegistry.snapshot()``) — under :mod:`repro.parallel`
+        fan-out the worker snapshots are already folded into the parent
+        registry before any caller reaches a commit, so the committed
+        counters equal the serial totals exactly.
+        """
+        created = time.time()
+        run_id = self._new_run_id(kind, created)
+        directory = self.run_dir(run_id)
+        os.makedirs(directory, exist_ok=True)
+
+        files = ["manifest.json"]
+        self._write_json(directory, "manifest.json", manifest.to_record())
+        counters: Dict[str, float] = {}
+        if snapshot is not None:
+            self._write_json(directory, "metrics.json", snapshot)
+            files.append("metrics.json")
+            counters = {name: float(rec["total"]) for name, rec
+                        in snapshot.get("counters", {}).items()}
+        alert_count = 0
+        if health_records:
+            self._write_json(directory, "health.json", list(health_records))
+            files.append("health.json")
+            alert_count = sum(1 for rec in health_records
+                              if rec.get("record") == "alert")
+        if bench_report is not None:
+            self._write_json(directory, "bench.json", bench_report)
+            files.append("bench.json")
+        if event_trace is not None:
+            self._write_json(directory, "trace.json", event_trace)
+            files.append("trace.json")
+
+        from ..bench.artifact import git_sha  # local: keeps import light
+
+        record = RunRecord(
+            run_id=run_id, kind=kind, name=manifest.run,
+            created_unix=created, git_sha=git_sha(),
+            wall_seconds=float(wall_seconds),
+            metrics=_numeric_items(manifest.metrics),
+            counters=counters, alerts=alert_count, files=files)
+        self._write_json(directory, "record.json", record.to_record())
+        with open(self.index_path, "a", encoding="utf-8") as handle:
+            handle.write(json.dumps(record.to_record(), sort_keys=True) + "\n")
+        return record
+
+    @staticmethod
+    def _write_json(directory: str, name: str, payload: Any) -> None:
+        with open(os.path.join(directory, name), "w",
+                  encoding="utf-8") as handle:
+            json.dump(payload, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+
+    # -- reading -------------------------------------------------------
+    def iter_records(self, kind: Optional[str] = None
+                     ) -> Iterator[RunRecord]:
+        """Stream index records oldest-first without loading the file.
+
+        Rides the lazy :func:`repro.telemetry.read_jsonl`, so a trend
+        over a large registry stays O(1) in index size.
+        """
+        if not os.path.exists(self.index_path):
+            return
+        for record in read_jsonl(self.index_path):
+            if record.get("record") != "run":
+                continue
+            parsed = RunRecord.from_record(record)
+            if kind is None or parsed.kind == kind:
+                yield parsed
+
+    def records(self, kind: Optional[str] = None,
+                limit: Optional[int] = None) -> List[RunRecord]:
+        """Materialized index records, newest-last; ``limit`` keeps the tail."""
+        records = list(self.iter_records(kind=kind))
+        if limit is not None and limit >= 0:
+            records = records[-limit:]
+        return records
+
+    def get(self, run_id: str) -> RunRecord:
+        """Look up one run by exact id, or by unique id prefix."""
+        exact: Optional[RunRecord] = None
+        prefixed: List[RunRecord] = []
+        for record in self.iter_records():
+            if record.run_id == run_id:
+                exact = record  # last write wins, matches directory state
+            elif record.run_id.startswith(run_id):
+                prefixed.append(record)
+        if exact is not None:
+            return exact
+        if len(prefixed) == 1:
+            return prefixed[0]
+        if prefixed:
+            raise KeyError(f"run id prefix {run_id!r} is ambiguous: "
+                           f"{sorted(r.run_id for r in prefixed)}")
+        raise KeyError(f"unknown run {run_id!r} in {self.root}")
+
+    def _load_json(self, run_id: str, name: str) -> Any:
+        path = os.path.join(self.run_dir(run_id), name)
+        with open(path, "r", encoding="utf-8") as handle:
+            return json.load(handle)
+
+    def load_manifest(self, run_id: str) -> Dict[str, Any]:
+        return self._load_json(run_id, "manifest.json")
+
+    def load_metrics(self, run_id: str) -> Dict[str, Any]:
+        return self._load_json(run_id, "metrics.json")
+
+    def load_health(self, run_id: str) -> List[Dict[str, Any]]:
+        return self._load_json(run_id, "health.json")
+
+    def load_bench_report(self, run_id: str) -> Dict[str, Any]:
+        return self._load_json(run_id, "bench.json")
+
+    def has_file(self, run_id: str, name: str) -> bool:
+        return os.path.exists(os.path.join(self.run_dir(run_id), name))
+
+    # -- maintenance ---------------------------------------------------
+    def gc(self, keep: int, kind: Optional[str] = None,
+           dry_run: bool = False) -> List[str]:
+        """Delete all but the newest ``keep`` runs (optionally per kind).
+
+        Returns the removed run ids.  The index is rewritten atomically
+        (temp file + rename) so a crash mid-gc never corrupts it.
+        """
+        if keep < 0:
+            raise ValueError(f"keep must be >= 0, got {keep}")
+        records = list(self.iter_records())
+        matching = [r for r in records if kind is None or r.kind == kind]
+        doomed = {r.run_id for r in matching[:max(0, len(matching) - keep)]}
+        if not doomed:
+            return []
+        if dry_run:
+            return sorted(doomed)
+        survivors = [r for r in records if r.run_id not in doomed]
+        temp_path = self.index_path + ".tmp"
+        with open(temp_path, "w", encoding="utf-8") as handle:
+            for record in survivors:
+                handle.write(json.dumps(record.to_record(), sort_keys=True)
+                             + "\n")
+        os.replace(temp_path, self.index_path)
+        for run_id in doomed:
+            shutil.rmtree(self.run_dir(run_id), ignore_errors=True)
+        return sorted(doomed)
+
+
+def active_store(path: Optional[str] = None) -> Optional[RunStore]:
+    """The registry to record into, or ``None`` (recording disabled).
+
+    Resolution: explicit ``path`` > ``$REPRO_RUNS_DIR`` > off.  Readers
+    (the ``repro runs`` CLI) should fall back to
+    :data:`DEFAULT_RUNS_DIR` themselves — recording never does.
+    """
+    root = path or os.environ.get(ENV_RUNS_DIR, "")
+    return RunStore(root) if root else None
+
+
+# ----------------------------------------------------------------------
+# Auto-commit suppression: CLI commands that commit a run themselves
+# (profile, bench run, experiment runs) wrap their work in
+# ``suppress_auto_commit`` so the trainers' RunRecorderHook does not
+# also register every interior fit as its own run.
+# ----------------------------------------------------------------------
+
+_SUPPRESSION = {"depth": 0}
+
+
+@contextlib.contextmanager
+def suppress_auto_commit() -> Iterator[None]:
+    """Disable :class:`~repro.runstore.RunRecorderHook` commits within."""
+    _SUPPRESSION["depth"] += 1
+    try:
+        yield
+    finally:
+        _SUPPRESSION["depth"] -= 1
+
+
+def auto_commit_suppressed() -> bool:
+    return _SUPPRESSION["depth"] > 0

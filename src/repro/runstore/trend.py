@@ -1,0 +1,173 @@
+"""``repro runs trend``: per-counter history with robust-z anomaly flags.
+
+The registry index carries every counter total inline, so a trend over
+thousands of runs is a single lazy pass over ``index.jsonl`` — no
+per-run file is opened (see the streaming :func:`repro.telemetry.read_jsonl`).
+
+Anomalies are flagged with a **robust z-score**: for each counter the
+median and the MAD (median absolute deviation) of its history are
+computed, and a value ``x`` scores
+
+    z = (x - median) / (1.4826 * MAD)
+
+(the 1.4826 factor makes MAD a consistent sigma estimator under
+normality).  Unlike a mean/stddev z-score, one bad run cannot mask
+itself by inflating the dispersion estimate.  ``|z| >= threshold``
+(default 3.0) marks the run.  A degenerate history (MAD = 0, i.e. the
+counter is bitwise-stable across runs — the common case for this
+repo's deterministic counters) flags *any* deviation from the median.
+"""
+
+from __future__ import annotations
+
+import math
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from ..bench.compare import _TREND_COUNTERS
+from .store import RunRecord, RunStore
+
+__all__ = ["DEFAULT_TREND_COUNTERS", "CounterTrend", "TrendReport",
+           "robust_z_scores", "compute_trend", "render_trend"]
+
+#: counters trended by default: the bench trend set plus health alerts
+DEFAULT_TREND_COUNTERS = tuple(_TREND_COUNTERS) + ("health.alerts",)
+
+
+def _median(values: Sequence[float]) -> float:
+    ordered = sorted(values)
+    n = len(ordered)
+    mid = n // 2
+    if n % 2:
+        return float(ordered[mid])
+    return 0.5 * (ordered[mid - 1] + ordered[mid])
+
+
+def robust_z_scores(values: Sequence[float]) -> List[float]:
+    """Median/MAD z-scores; degenerate MAD=0 maps deviation to +-inf."""
+    if not values:
+        return []
+    center = _median(values)
+    mad = _median([abs(v - center) for v in values])
+    scale = 1.4826 * mad
+    scores: List[float] = []
+    for value in values:
+        delta = value - center
+        if scale > 0.0:
+            scores.append(delta / scale)
+        elif delta == 0.0:
+            scores.append(0.0)
+        else:
+            scores.append(math.copysign(math.inf, delta))
+    return scores
+
+
+@dataclass
+class CounterTrend:
+    """One counter's trajectory across the selected runs."""
+
+    name: str
+    #: parallel to the report's run list; None where the run lacks it
+    values: List[Optional[float]] = field(default_factory=list)
+    #: robust z per present value (same positions as ``values``)
+    z_scores: List[Optional[float]] = field(default_factory=list)
+    #: run ids whose |z| met the threshold
+    anomalies: List[str] = field(default_factory=list)
+
+
+@dataclass
+class TrendReport:
+    """Everything ``repro runs trend`` renders."""
+
+    runs: List[RunRecord] = field(default_factory=list)
+    counters: List[CounterTrend] = field(default_factory=list)
+    threshold: float = 3.0
+
+    @property
+    def anomalous_run_ids(self) -> List[str]:
+        flagged = {run_id for counter in self.counters
+                   for run_id in counter.anomalies}
+        return [r.run_id for r in self.runs if r.run_id in flagged]
+
+
+def compute_trend(store: RunStore, counters: Optional[Sequence[str]] = None,
+                  kind: Optional[str] = None, limit: Optional[int] = None,
+                  threshold: float = 3.0) -> TrendReport:
+    """Stream the index once and build per-counter histories.
+
+    ``counters=None`` selects :data:`DEFAULT_TREND_COUNTERS` filtered to
+    those any selected run actually recorded, so suites without e.g.
+    fused kernels don't render empty columns.
+    """
+    runs = store.records(kind=kind, limit=limit)
+    report = TrendReport(runs=runs, threshold=float(threshold))
+    if not runs:
+        return report
+
+    if counters is None:
+        names = [c for c in DEFAULT_TREND_COUNTERS
+                 if any(c in run.counters for run in runs)]
+    else:
+        names = list(counters)
+
+    for name in names:
+        trend = CounterTrend(name=name)
+        trend.values = [run.counters.get(name) for run in runs]
+        present = [(i, v) for i, v in enumerate(trend.values)
+                   if v is not None]
+        trend.z_scores = [None] * len(runs)
+        if present:
+            scores = robust_z_scores([v for _, v in present])
+            for (index, _), score in zip(present, scores):
+                trend.z_scores[index] = score
+                if abs(score) >= report.threshold:
+                    trend.anomalies.append(runs[index].run_id)
+        report.counters.append(trend)
+    return report
+
+
+def _format_value(value: Optional[float]) -> str:
+    if value is None:
+        return "-"
+    if value == int(value) and abs(value) < 1e15:
+        return str(int(value))
+    return f"{value:g}"
+
+
+def render_trend(report: TrendReport) -> str:
+    """Text table: one row per run, one column per counter, ``!`` flags."""
+    if not report.runs:
+        return "no runs recorded\n"
+    header = ["run_id", "kind", "date", "wall(s)"]
+    header += [c.name for c in report.counters]
+    rows: List[List[str]] = []
+    for index, run in enumerate(report.runs):
+        date = time.strftime("%Y-%m-%d %H:%M",
+                             time.gmtime(run.created_unix))
+        row = [run.run_id, run.kind, date, f"{run.wall_seconds:.2f}"]
+        for counter in report.counters:
+            cell = _format_value(counter.values[index])
+            score = counter.z_scores[index]
+            if score is not None and abs(score) >= report.threshold:
+                cell += " !"
+            row.append(cell)
+        rows.append(row)
+
+    widths = [max(len(header[i]), *(len(r[i]) for r in rows))
+              for i in range(len(header))]
+    lines = ["  ".join(h.ljust(widths[i]) for i, h in enumerate(header))]
+    lines.append("  ".join("-" * w for w in widths))
+    for row in rows:
+        lines.append("  ".join(cell.ljust(widths[i])
+                               for i, cell in enumerate(row)))
+
+    flagged = report.anomalous_run_ids
+    if flagged:
+        lines.append("")
+        lines.append(f"anomalies (|robust z| >= {report.threshold:g}): "
+                     + ", ".join(flagged))
+    else:
+        lines.append("")
+        lines.append(f"no anomalies (|robust z| >= {report.threshold:g})")
+    return "\n".join(lines) + "\n"

@@ -26,6 +26,10 @@ def _jsonable(value: Any) -> Any:
         return {str(key): _jsonable(item) for key, item in value.items()}
     if isinstance(value, (list, tuple)):
         return [_jsonable(item) for item in value]
+    if hasattr(value, "tolist") and hasattr(value, "ndim"):
+        if getattr(value, "ndim", 0) == 0:
+            return value.item()          # 0-d numpy array
+        return _jsonable(value.tolist())  # numpy arrays -> nested lists
     if hasattr(value, "item") and not isinstance(value, (str, bytes)):
         try:
             return value.item()          # numpy scalars
@@ -33,7 +37,7 @@ def _jsonable(value: Any) -> Any:
             pass
     if isinstance(value, (str, int, float, bool)) or value is None:
         return value
-    return str(value)
+    return str(value)                    # Path, enums, anything else
 
 
 @dataclass

@@ -17,7 +17,7 @@ from __future__ import annotations
 
 import json
 import warnings
-from typing import Dict, Iterable, List, Optional
+from typing import Dict, Iterable, Iterator, List, Optional
 
 from .manifest import RunManifest
 from .tracer import MetricsRegistry, get_registry
@@ -113,18 +113,22 @@ def write_jsonl(path: str, registry: Optional[MetricsRegistry] = None,
     return len(records)
 
 
-def read_jsonl(path: str) -> List[Dict[str, object]]:
-    """Parse a JSONL telemetry dump back into a list of record dicts."""
-    records: List[Dict[str, object]] = []
+def read_jsonl(path: str) -> Iterator[Dict[str, object]]:
+    """Stream a JSONL telemetry dump as parsed record dicts, lazily.
+
+    A generator, not a list: one line is held in memory at a time, so
+    consumers that scan large files (``repro runs trend`` over a long
+    ``index.jsonl``) stay O(1) in file size.  Wrap in ``list(...)``
+    when random access or ``len`` is needed.
+    """
     with open(path, "r", encoding="utf-8") as handle:
         for line in handle:
             line = line.strip()
             if line:
-                records.append(json.loads(line))
-    return records
+                yield json.loads(line)
 
 
-def split_records(records: List[Dict[str, object]]):
+def split_records(records: Iterable[Dict[str, object]]):
     """Split parsed records into ``(manifest_or_None, {section: {name: rec}})``."""
     manifest: Optional[Dict[str, object]] = None
     sections: Dict[str, Dict[str, Dict[str, object]]] = {

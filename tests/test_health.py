@@ -403,7 +403,7 @@ class TestHealthSinkFlow:
         manifest = tm.RunManifest(run="health-test", seed=0)
         lines = tm.write_jsonl(str(path), manifest=manifest,
                                extra_records=monitor.records())
-        records = tm.read_jsonl(str(path))
+        records = list(tm.read_jsonl(str(path)))
         assert lines == len(records)
         kinds = [r["record"] for r in records]
         assert kinds[0] == "manifest"

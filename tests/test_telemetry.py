@@ -121,6 +121,23 @@ class TestTimedDecorator:
         assert quiet() == 7
         assert tm.get_registry().is_empty()
 
+    def test_timed_supports_introspection(self):
+        """functools.wraps contract: bench registry listings read the
+        wrapped callable's identity and signature, not the wrapper's."""
+        import inspect
+
+        @tm.timed("bench.introspect")
+        def workload(users, depth=3):
+            """Build and rank."""
+            return users * depth
+
+        assert workload.__wrapped__.__name__ == "workload"
+        assert workload.__qualname__.endswith("workload")
+        assert list(inspect.signature(workload).parameters) == \
+            ["users", "depth"]
+        assert workload.__module__ == __name__
+        assert inspect.unwrap(workload)(2, depth=5) == 10
+
     def test_timed_closes_span_when_function_raises(self):
         @tm.timed("bench.boom")
         def boom():
@@ -284,7 +301,7 @@ class TestSinksAndManifest:
         lines = tm.write_jsonl(path, manifest=manifest)
         assert lines == 5
 
-        records = tm.read_jsonl(path)
+        records = list(tm.read_jsonl(path))
         assert len(records) == 5
         parsed, sections = tm.split_records(records)
         assert parsed["run"] == "test"
@@ -308,7 +325,7 @@ class TestSinksAndManifest:
                                      "name": "future", "jigawatts": 1.21})
                          + "\n")
 
-        records = tm.read_jsonl(path)
+        records = list(tm.read_jsonl(path))
         assert {"record": "flux_capacitor", "name": "future",
                 "jigawatts": 1.21} in records
         manifest, sections = tm.split_records(records)
@@ -337,6 +354,53 @@ class TestSinksAndManifest:
         assert record["metrics"]["value"] == 0.25
         assert isinstance(record["metrics"]["count"], int)
         json.dumps(record)  # fully serializable
+
+    def test_read_jsonl_is_a_lazy_generator(self, tmp_path):
+        """Streaming contract: records come out one at a time, so `repro
+        runs trend` over a large index stays O(1) in file size."""
+        import types
+
+        path = str(tmp_path / "big.jsonl")
+        with open(path, "w", encoding="utf-8") as handle:
+            for index in range(100):
+                handle.write(json.dumps({"record": "row", "i": index}) + "\n")
+
+        stream = tm.read_jsonl(path)
+        assert isinstance(stream, types.GeneratorType)
+        assert next(stream) == {"record": "row", "i": 0}
+        assert next(stream) == {"record": "row", "i": 1}
+        # The remainder is still pending, not buffered up front.
+        rest = list(stream)
+        assert len(rest) == 98 and rest[-1]["i"] == 99
+
+    def test_manifest_round_trip_with_numpy_and_path_fields(self, tmp_path):
+        """Coerce-to-JSON-native: numpy scalars/arrays and Path values in
+        a manifest serialize instead of raising (run-registry commits
+        pass experiment configs through verbatim)."""
+        from pathlib import Path
+
+        manifest = tm.RunManifest(
+            run="coerce", seed=np.int64(7),
+            config={"out_dir": Path("/tmp/runs"),
+                    "weights": np.array([0.5, 1.5]),
+                    "epochs": np.int32(3),
+                    "grid": np.arange(4).reshape(2, 2)},
+            metrics={"recall@20": np.float32(0.125),
+                     "loss": np.float64(0.5)})
+        record = manifest.to_record()
+        json.dumps(record)  # fully serializable, nothing raises
+        assert record["seed"] == 7
+        assert record["config"]["out_dir"] == str(Path("/tmp/runs"))
+        assert record["config"]["weights"] == [0.5, 1.5]
+        assert record["config"]["epochs"] == 3
+        assert record["config"]["grid"] == [[0, 1], [2, 3]]
+        assert record["metrics"]["recall@20"] == 0.125
+
+        rebuilt = tm.RunManifest.from_record(
+            json.loads(json.dumps(record)))
+        assert rebuilt.run == "coerce" and rebuilt.seed == 7
+        assert rebuilt.config["weights"] == [0.5, 1.5]
+        assert rebuilt.metrics["loss"] == 0.5
 
     def test_summary_table_renders_all_sections(self):
         with tm.enabled():
@@ -588,6 +652,26 @@ class TestMergeSnapshotSections:
         registry = tm.MetricsRegistry()
         registry.merge_snapshot(snapshot)
         assert registry.snapshot()["spans"]["w.span"]["errors"] == 0
+
+    def test_merge_accumulates_health_alert_counters(self):
+        """Worker registries carrying health.alerts counters fold
+        additively — the committed run must see the fleet-wide total."""
+        def worker(alerts_by_check):
+            registry = tm.MetricsRegistry()
+            for check, count in alerts_by_check.items():
+                registry.add("health.alerts", count)
+                registry.add(f"health.alerts.{check}", count)
+            return registry.snapshot()
+
+        registry = tm.MetricsRegistry()
+        registry.merge_snapshot(worker({"grad_norm": 2, "loss_spike": 1}))
+        registry.merge_snapshot(worker({"grad_norm": 1}))
+        registry.merge_snapshot(worker({}))
+        counters = registry.snapshot()["counters"]
+        assert counters["health.alerts"]["total"] == 4
+        assert counters["health.alerts.grad_norm"]["total"] == 3
+        assert counters["health.alerts.loss_spike"]["total"] == 1
+        assert counters["health.alerts"]["updates"] == 3
 
 
 class TestSplitRecordsManifests:

@@ -417,6 +417,78 @@ def _build_telemetry_events(spans: int, dim: int, events: bool):
     return _build_telemetry_loop(spans, dim, events)
 
 
+@register("ppr.incremental_vs_scratch",
+          "incremental PPR maintenance after a small interaction delta "
+          "vs a from-scratch push on the updated graph; "
+          "ppr.incremental_pushes is the incremental arm's share of "
+          "ppr.push_ops and must stay strictly below the scratch share",
+          quick={"scale": 1.0, "epsilon": 1e-4, "num_new": 6},
+          full={"scale": 2.0, "epsilon": 1e-4, "num_new": 12})
+def _build_ppr_incremental(scale: float, epsilon: float, num_new: int):
+    from ..ppr import forward_push_batch, incremental_push
+
+    _, split, ckg = _ckg(scale)
+    users = list(range(ckg.num_users))
+    base = forward_push_batch(ckg, users, epsilon=epsilon,
+                              keep_residuals=True)
+    # A deterministic batch of unseen (user, item) pairs: walk the grid
+    # in a fixed diagonal order and keep the first num_new fresh ones.
+    pairs = []
+    for step in range(ckg.num_users * ckg.num_items):
+        user = step % ckg.num_users
+        item = (step * 7 + step // ckg.num_users) % ckg.num_items
+        if item not in split.train.positives(user) \
+                and (user, item) not in pairs:
+            pairs.append((user, item))
+            if len(pairs) == num_new:
+                break
+
+    def run():
+        # Both arms on every repeat: maintain incrementally, then solve
+        # the updated graph from scratch.  Their per-arm costs land in
+        # ppr.incremental_pushes and (summed) ppr.push_ops.
+        result = incremental_push(ckg, base, pairs)
+        forward_push_batch(result.ckg, users, epsilon=epsilon,
+                           keep_residuals=True)
+
+    return run
+
+
+@register("serve.qps",
+          "batched top-K /recommend queries against a prepared "
+          "RecommendationService: a cold pass then a warm repeat per "
+          "run, so serve.cache_hits is a strict deterministic gate",
+          quick={"scale": 0.3, "dim": 16, "depth": 2, "k": 10,
+                 "num_users": 24},
+          full={"scale": 1.0, "dim": 32, "depth": 3, "k": 20,
+                "num_users": 64})
+def _build_serve_qps(scale: float, dim: int, depth: int, k: int,
+                     num_users: int):
+    from ..core import KUCNetConfig, KUCNetRecommender, TrainConfig
+    from ..data import PRESETS, traditional_split
+    from ..serve import RecommendationService, ServeConfig
+
+    dataset = PRESETS[_DATASET](seed=0, scale=scale)
+    split = traditional_split(dataset, seed=0)
+    model = KUCNetRecommender(
+        KUCNetConfig(dim=dim, depth=depth, seed=0),
+        TrainConfig(epochs=1, batch_users=16, k=k, seed=0,
+                    ppr_method="push"))
+    model.fit(split)
+    service = RecommendationService.from_recommender(
+        model, split, ServeConfig(top_k=20))
+    users = list(range(min(num_users, service.ckg.num_users)))
+
+    def run():
+        # Start cold every repeat so the hit/miss counter profile is
+        # run-invariant: one scoring pass, then one all-hits pass.
+        service.reset_cache()
+        service.recommend(users)
+        service.recommend(users)
+
+    return run
+
+
 @register("eval.rank",
           "all-ranking evaluation of a trained model (recall/ndcg@20)",
           quick={"scale": 0.3, "dim": 16, "depth": 2, "k": 10,

@@ -129,6 +129,39 @@ def build_parser() -> argparse.ArgumentParser:
                               "here (implies --health-policy warn)")
     _add_recording_flags(profile)
 
+    serve = commands.add_parser(
+        "serve",
+        help="online recommendation service: train a quick model, then "
+             "answer /recommend queries and fold in /interactions via "
+             "incremental PPR maintenance (docs/serving.md)")
+    serve.add_argument("--dataset", default="lastfm_like",
+                       help="synthetic dataset preset (default lastfm_like)")
+    serve.add_argument("--scale", type=float, default=0.15,
+                       help="dataset size multiplier (default 0.15)")
+    serve.add_argument("--seed", type=int, default=0)
+    serve.add_argument("--epochs", type=int, default=1,
+                       help="training epochs before serving "
+                            "(0 = untrained weights, preprocessing only)")
+    serve.add_argument("--depth", type=int, default=2,
+                       help="KUCNet layer count L")
+    serve.add_argument("--k", type=int, default=10,
+                       help="PPR top-K pruning budget")
+    serve.add_argument("--top-k", type=int, default=20,
+                       help="items ranked and cached per user (requests "
+                            "may ask for any k <= this)")
+    serve.add_argument("--cache-entries", type=int, default=1024,
+                       help="bound on the per-user LRU result cache")
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=0,
+                       help="HTTP port (default 0 = ephemeral; the bound "
+                            "port is printed and written to --port-file)")
+    serve.add_argument("--port-file", default=None, metavar="FILE",
+                       help="write the bound port here once listening "
+                            "(lets scripts and CI find an ephemeral port)")
+    serve.add_argument("--max-seconds", type=float, default=None,
+                       help="exit after this many seconds "
+                            "(default: serve until interrupted)")
+
     trace = commands.add_parser(
         "trace",
         help="flight-record another repro command into a Chrome trace")
@@ -290,6 +323,9 @@ def main(argv: Optional[List[str]] = None) -> int:
 
     if args.command == "profile":
         return _run_profile(args)
+
+    if args.command == "serve":
+        return _run_serve(args)
 
     if args.command == "trace":
         return _run_trace(args)
@@ -635,6 +671,71 @@ def _run_profile(args: argparse.Namespace) -> int:
                 handle.write(telemetry.summary_table() + "\n")
             print(f"\n[saved {args.out}]")
     print(f"\n{result}", file=sys.stderr)
+    return 0
+
+
+def _run_serve(args: argparse.Namespace) -> int:
+    """``repro serve``: quick-train a model, then serve it over HTTP.
+
+    Preprocessing uses the push PPR backend with kept residuals so
+    ``POST /interactions`` can maintain the scores incrementally; the
+    live ``/metrics`` endpoint exposes the ``serve.*`` and
+    ``ppr.incremental_pushes`` series the CI smoke job asserts on.
+    """
+    import time
+
+    from . import telemetry
+    from .core import KUCNetConfig, KUCNetRecommender, TrainConfig
+    from .data import PRESETS, traditional_split
+    from .serve import RecommendationServer, RecommendationService, ServeConfig
+
+    if args.dataset not in PRESETS:
+        print(f"unknown dataset {args.dataset!r}; "
+              f"choose from {sorted(PRESETS)}", file=sys.stderr)
+        return 2
+
+    dataset = PRESETS[args.dataset](seed=args.seed, scale=args.scale)
+    split = traditional_split(dataset, seed=args.seed)
+    model_config = KUCNetConfig(dim=16, depth=args.depth, seed=args.seed)
+    train_config = TrainConfig(epochs=max(args.epochs, 0), batch_users=16,
+                               k=args.k, seed=args.seed, verbose=False,
+                               ppr_method="push")
+    recommender = KUCNetRecommender(model_config, train_config)
+
+    # Serving is an always-instrumented command: scrapes of /metrics
+    # must show request/cache/maintenance counters as they happen.
+    telemetry.enable()
+    telemetry.reset()
+    print(f"[preparing {args.dataset} scale={args.scale} "
+          f"epochs={args.epochs}]", file=sys.stderr)
+    if args.epochs > 0:
+        recommender.fit(split)
+    else:
+        recommender.prepare(split)
+    service = RecommendationService.from_recommender(
+        recommender, split,
+        ServeConfig(top_k=args.top_k, cache_entries=args.cache_entries))
+    server = RecommendationServer(service, port=args.port, host=args.host)
+    try:
+        port = server.start()
+    except RuntimeError as error:
+        print(f"repro serve: {error}", file=sys.stderr)
+        return 2
+    if args.port_file:
+        with open(args.port_file, "w", encoding="utf-8") as handle:
+            handle.write(f"{port}\n")
+    print(f"[serving {server.url} — POST /recommend {{users,k}}, "
+          f"POST /interactions {{pairs}}, GET /metrics, GET /healthz]",
+          file=sys.stderr)
+    try:
+        deadline = (time.monotonic() + args.max_seconds
+                    if args.max_seconds is not None else None)
+        while deadline is None or time.monotonic() < deadline:
+            time.sleep(0.2)
+    except KeyboardInterrupt:
+        pass
+    finally:
+        server.stop()
     return 0
 
 

@@ -172,6 +172,63 @@ class CollaborativeKG:
         return ckg
 
     # ------------------------------------------------------------------
+    # Online updates
+    # ------------------------------------------------------------------
+    def has_interaction(self, user: int, item: int) -> bool:
+        """Whether the ``interact`` edge ``user -> item`` is present."""
+        if not 0 <= user < self.num_users:
+            raise ValueError(f"user {user} out of range")
+        if not 0 <= item < self.num_items:
+            raise ValueError(f"item {item} out of range")
+        lo, hi = self.indptr[user], self.indptr[user + 1]
+        mask = self.relations[lo:hi] == INTERACT_RELATION
+        return bool(np.any(self.tails[lo:hi][mask] == self.item_nodes[item]))
+
+    def add_interactions(self, pairs: Sequence[Tuple[int, int]]) -> "CollaborativeKG":
+        """New CKG with ``(user, item)`` interactions appended.
+
+        The online-serving delta: each pair contributes an ``interact``
+        edge plus its reverse twin, the node space is unchanged (items
+        and users already have nodes), and the edge arrays are re-sorted
+        into CSR order by the constructor.  The result is
+        indistinguishable from building the CKG over the union
+        interaction set.  ``self`` is never mutated — callers swap in
+        the returned graph, so readers of the old one stay consistent.
+
+        Duplicate interactions (within the batch or against the existing
+        graph) raise ``ValueError`` naming the offending pair.
+        """
+        pair_list = [(int(u), int(i)) for u, i in pairs]
+        if not pair_list:
+            raise ValueError("pairs must be non-empty")
+        seen = set()
+        for user, item in pair_list:
+            if (user, item) in seen:
+                raise ValueError(
+                    f"duplicate interaction ({user}, {item}) in batch")
+            seen.add((user, item))
+            if self.has_interaction(user, item):
+                raise ValueError(
+                    f"interaction ({user}, {item}) already present")
+
+        pair_array = np.asarray(pair_list, dtype=np.int64)
+        users = pair_array[:, 0]
+        item_tails = self.item_nodes[pair_array[:, 1]]
+        interact = np.full(users.size, INTERACT_RELATION, dtype=np.int64)
+        heads = np.concatenate([self.heads, users, item_tails])
+        rels = np.concatenate([self.relations, interact,
+                               interact + self.num_base_relations])
+        tails = np.concatenate([self.tails, item_tails, users])
+
+        updated = CollaborativeKG(
+            self.num_users, self.num_items, self.num_entities,
+            self.num_base_relations, self.item_nodes,
+            heads, rels, tails, self.num_nodes)
+        updated.num_kg_relations = self.num_kg_relations
+        updated.num_user_relations = self.num_user_relations
+        return updated
+
+    # ------------------------------------------------------------------
     # Node id mapping
     # ------------------------------------------------------------------
     def user_node(self, user: int) -> int:

@@ -3,14 +3,20 @@
 Two solver backends share this namespace: the dense power iteration of
 :mod:`.pagerank` (the paper's literal Eq. 13) and the sparse forward
 push of :mod:`.push` (same scores, sublinear per user, top-M storage).
+The push backend additionally supports online maintenance: scores
+computed with ``keep_residuals=True`` can be updated in place of a
+from-scratch recompute via :func:`incremental_push` when new
+interactions arrive.
 """
 
 from .pagerank import (PPRScores, personalized_pagerank,
                        personalized_pagerank_batch, top_k_items_by_ppr)
-from .push import (PPRScoreLike, SparsePPRScores, concat_sparse_scores,
-                   forward_push_batch, sparsify_scores)
+from .push import (IncrementalPushResult, PPRScoreLike, SparsePPRScores,
+                   concat_sparse_scores, forward_push_batch,
+                   incremental_push, sparsify_scores)
 
 __all__ = ["personalized_pagerank", "personalized_pagerank_batch",
            "PPRScores", "top_k_items_by_ppr",
            "SparsePPRScores", "forward_push_batch", "sparsify_scores",
-           "concat_sparse_scores", "PPRScoreLike"]
+           "concat_sparse_scores", "PPRScoreLike",
+           "incremental_push", "IncrementalPushResult"]

@@ -147,7 +147,9 @@ def top_k_items_by_ppr(ckg: CollaborativeKG, scores: np.ndarray, k: int,
 
     Returns
     -------
-    Item ids sorted by descending PPR score.
+    Item ids sorted by descending PPR score.  Excluded items are never
+    returned, so fewer than ``k`` items come back when the exclusions
+    saturate the catalog (same contract as ``eval.metrics.rank_items``).
     """
     if k < 1:
         raise ValueError("k must be >= 1")
@@ -156,4 +158,7 @@ def top_k_items_by_ppr(ckg: CollaborativeKG, scores: np.ndarray, k: int,
         item_scores[np.asarray(list(exclude_items), dtype=np.int64)] = -np.inf
     k = min(k, item_scores.size)
     top = np.argpartition(-item_scores, k - 1)[:k]
-    return top[np.argsort(-item_scores[top], kind="stable")]
+    ranked = top[np.argsort(-item_scores[top], kind="stable")]
+    # When k reaches past the unmasked count, the argpartition tail is
+    # -inf-masked exclusions — drop them instead of recommending them.
+    return ranked[item_scores[ranked] > -np.inf]

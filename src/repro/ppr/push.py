@@ -26,12 +26,21 @@ so after termination every true score is underestimated by at most
 ``epsilon * outdeg(v)``; with a small ``epsilon`` the top-K entries per
 user — all the pruner consumes — match power iteration (see
 ``tests/test_ppr_push.py`` for the property test).
+
+The same invariant powers *incremental maintenance* for online serving:
+:func:`forward_push_batch` can keep the per-user residual vectors
+(``keep_residuals=True``), and :func:`incremental_push` restores the
+invariant after new interactions arrive — per inserted edge ``(h, t)``
+with prior out-degree ``d(h)`` it folds the estimate mass already pushed
+through ``h`` into adjusted ``p`` / ``r`` terms (Zhang, Lofgren & Goel,
+KDD 2016) and then resumes pushing only the displaced residual, instead
+of recomputing every user from scratch.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Sequence, Union
+from typing import Optional, Sequence, Tuple, Union
 
 import numpy as np
 
@@ -66,6 +75,13 @@ class SparsePPRScores:
     residual:
         Total residual mass left unpushed (an upper bound on the summed
         underestimation per user; convergence diagnostic).
+    res_indptr / res_node_ids / res_values:
+        Optional second CSR holding each user's *residual* vector
+        (``keep_residuals=True``), the state :func:`incremental_push`
+        resumes from.  Either all three are present or none.
+    alpha / epsilon:
+        Solver parameters recorded alongside kept residuals so
+        maintenance continues with the exact same contract.
     """
 
     users: np.ndarray
@@ -74,6 +90,11 @@ class SparsePPRScores:
     node_ids: np.ndarray
     values: np.ndarray
     residual: float = 0.0
+    res_indptr: Optional[np.ndarray] = None
+    res_node_ids: Optional[np.ndarray] = None
+    res_values: Optional[np.ndarray] = None
+    alpha: Optional[float] = None
+    epsilon: Optional[float] = None
     _keys: np.ndarray = field(init=False, repr=False)
 
     def __post_init__(self):
@@ -81,6 +102,15 @@ class SparsePPRScores:
         self.indptr = np.asarray(self.indptr, dtype=np.int64)
         self.node_ids = np.asarray(self.node_ids, dtype=np.int64)
         self.values = np.asarray(self.values, dtype=np.float32)
+        res_parts = (self.res_indptr, self.res_node_ids, self.res_values)
+        if any(part is not None for part in res_parts):
+            if any(part is None for part in res_parts):
+                raise ValueError(
+                    "res_indptr, res_node_ids and res_values must be "
+                    "provided together")
+            self.res_indptr = np.asarray(self.res_indptr, dtype=np.int64)
+            self.res_node_ids = np.asarray(self.res_node_ids, dtype=np.int64)
+            self.res_values = np.asarray(self.res_values, dtype=np.float32)
         self._row_of = {int(u): k for k, u in enumerate(self.users.tolist())}
         # Composite keys row * num_nodes + node are globally sorted
         # (rows ascend; node_ids ascend within each row), so lookups are
@@ -101,11 +131,33 @@ class SparsePPRScores:
     @property
     def nbytes(self) -> int:
         """Bytes held by the score storage (the ``ppr.score_bytes`` gauge)."""
-        return int(self.indptr.nbytes + self.node_ids.nbytes
-                   + self.values.nbytes)
+        total = int(self.indptr.nbytes + self.node_ids.nbytes
+                    + self.values.nbytes)
+        if self.has_residuals:
+            total += int(self.res_indptr.nbytes + self.res_node_ids.nbytes
+                         + self.res_values.nbytes)
+        return total
+
+    @property
+    def has_residuals(self) -> bool:
+        """Whether per-user residual rows were kept for maintenance."""
+        return self.res_indptr is not None
 
     def has_user(self, user: int) -> bool:
         return int(user) in self._row_of
+
+    def residual_for_user(self, user: int) -> np.ndarray:
+        """Densified residual vector for ``user`` (requires kept residuals)."""
+        if not self.has_residuals:
+            raise ValueError(
+                "scores were computed without keep_residuals=True")
+        row = self._row_of.get(int(user))
+        if row is None:
+            raise KeyError(f"no PPR scores computed for user {user}")
+        dense = np.zeros(self.num_nodes, dtype=np.float32)
+        lo, hi = self.res_indptr[row], self.res_indptr[row + 1]
+        dense[self.res_node_ids[lo:hi]] = self.res_values[lo:hi]
+        return dense
 
     # ------------------------------------------------------------------
     def lookup(self, slots: np.ndarray, nodes: np.ndarray) -> np.ndarray:
@@ -113,10 +165,30 @@ class SparsePPRScores:
 
         ``slots`` index *rows* of this structure (the pruner's user
         slots), not user ids.  Queries may repeat and arrive in any
-        order; the result aligns with the input element-wise.
+        order; the result aligns with the input element-wise.  Slots and
+        nodes are bounds-checked: an out-of-range query raises
+        ``IndexError`` naming the offender rather than silently reading
+        a clamped position.
         """
         slots = np.asarray(slots, dtype=np.int64)
         nodes = np.asarray(nodes, dtype=np.int64)
+        if slots.size != nodes.size:
+            raise ValueError(
+                f"slots and nodes must align element-wise, got "
+                f"{slots.size} slots and {nodes.size} nodes")
+        if slots.size:
+            bad_slots = (slots < 0) | (slots >= self.num_rows)
+            if bad_slots.any():
+                offender = int(slots[bad_slots][0])
+                raise IndexError(
+                    f"slot {offender} out of range for "
+                    f"{self.num_rows} score rows")
+            bad_nodes = (nodes < 0) | (nodes >= self.num_nodes)
+            if bad_nodes.any():
+                offender = int(nodes[bad_nodes][0])
+                raise IndexError(
+                    f"node {offender} out of range for "
+                    f"num_nodes={self.num_nodes}")
         out = np.zeros(slots.size, dtype=np.float32)
         if self._keys.size == 0 or slots.size == 0:
             return out
@@ -160,8 +232,17 @@ class SparsePPRScores:
         """Row subset for ``users`` (cheap CSR slice; rows realign to input).
 
         The counterpart of dense ``scores[list(users)]`` — the pruner's
-        slot ``k`` then maps to row ``k`` of the result.
+        slot ``k`` then maps to row ``k`` of the result.  Maintenance
+        metadata (kept residuals) stays with the full structure; the
+        selection is a plain score view.  Users without a computed row
+        raise ``KeyError`` naming the offenders.
         """
+        missing = sorted({int(u) for u in users
+                          if int(u) not in self._row_of})
+        if missing:
+            raise KeyError(
+                f"no PPR scores computed for user(s) {missing}: "
+                f"structure holds {self.num_rows} rows")
         rows = np.asarray([self._row_of[int(u)] for u in users],
                           dtype=np.int64)
         starts = self.indptr[rows]
@@ -197,11 +278,54 @@ class SparsePPRScores:
 DEFAULT_CHUNK_USERS = 64
 
 
+def _sweep_chunk(ckg: CollaborativeKG, estimate: np.ndarray,
+                 residual: np.ndarray, thresholds: np.ndarray,
+                 degrees: np.ndarray, inv_degrees: np.ndarray, alpha: float,
+                 signed: bool = False,
+                 touched: Optional[np.ndarray] = None) -> int:
+    """Run frontier sweeps on one dense chunk until below threshold.
+
+    Mutates ``estimate`` / ``residual`` in place and returns the push-op
+    count (frontier nodes + traversed edges).  ``signed=True`` pushes
+    whenever ``|r| > epsilon * outdeg`` — incremental maintenance can
+    leave *negative* residual at the head of an inserted edge, and both
+    signs must drain for the two-sided error bound to hold.  ``touched``
+    (optional bool array, one slot per chunk row) is OR-ed with the rows
+    that pushed, so callers can tell which users actually moved.
+    """
+    batch, num_nodes = residual.shape
+    ops = 0
+    for _ in range(MAX_SWEEPS):
+        if signed:
+            rows, nodes = np.nonzero(np.abs(residual) > thresholds)
+        else:
+            rows, nodes = np.nonzero(residual > thresholds)
+        if rows.size == 0:
+            break
+        mass = residual[rows, nodes]
+        estimate[rows, nodes] += alpha * mass
+        residual[rows, nodes] = 0.0
+        out_degs = degrees[nodes]
+        edge_ids = ckg.out_edge_ids(nodes)
+        if edge_ids.size:
+            spread = (mass * inv_degrees[nodes]).repeat(out_degs)
+            targets = (rows.repeat(out_degs) * np.int64(num_nodes)
+                       + ckg.tails[edge_ids])
+            residual += np.bincount(
+                targets, weights=spread,
+                minlength=batch * num_nodes).reshape(batch, num_nodes)
+        ops += int(edge_ids.size) + int(rows.size)
+        if touched is not None:
+            touched[rows] = True
+    return ops
+
+
 def forward_push_batch(ckg: CollaborativeKG, users: Sequence[int],
                        alpha: float = 0.15,
                        epsilon: float = DEFAULT_EPSILON,
                        top_m: int = DEFAULT_TOP_M,
-                       chunk_users: int = DEFAULT_CHUNK_USERS) -> SparsePPRScores:
+                       chunk_users: int = DEFAULT_CHUNK_USERS,
+                       keep_residuals: bool = False) -> SparsePPRScores:
     """Approximate PPR for each user by chunk-vectorized forward push.
 
     Users are processed in chunks of ``chunk_users``; a chunk's state is
@@ -233,6 +357,13 @@ def forward_push_batch(ckg: CollaborativeKG, users: Sequence[int],
         Retain at most this many entries per user (highest scores).
     chunk_users:
         Users pushed simultaneously (bounds temporary memory).
+    keep_residuals:
+        Also store each user's sparse residual row so
+        :func:`incremental_push` can resume the solve after graph
+        updates.  Implies *untruncated* estimate rows (``top_m`` is
+        ignored): the maintenance invariant reads the estimate at every
+        node an inserted edge touches, so silently dropping entries
+        would corrupt later updates.
     """
     if not 0.0 < alpha < 1.0:
         raise ValueError(f"alpha must be in (0, 1), got {alpha}")
@@ -258,6 +389,9 @@ def forward_push_batch(ckg: CollaborativeKG, users: Sequence[int],
     chunks_nodes = []
     chunks_values = []
     lengths = np.empty(user_array.size, dtype=np.int64)
+    res_chunks_nodes = []
+    res_chunks_values = []
+    res_lengths = np.empty(user_array.size, dtype=np.int64)
     total_pushes = 0
     total_residual = 0.0
 
@@ -268,48 +402,258 @@ def forward_push_batch(ckg: CollaborativeKG, users: Sequence[int],
             estimate = np.zeros((batch, num_nodes))
             residual = np.zeros((batch, num_nodes))
             residual[np.arange(batch), chunk] = 1.0
-            for _ in range(MAX_SWEEPS):
-                rows, nodes = np.nonzero(residual > thresholds)
-                if rows.size == 0:
-                    break
-                mass = residual[rows, nodes]
-                estimate[rows, nodes] += alpha * mass
-                residual[rows, nodes] = 0.0
-                out_degs = degrees[nodes]
-                edge_ids = ckg.out_edge_ids(nodes)
-                if edge_ids.size:
-                    spread = (mass * inv_degrees[nodes]).repeat(out_degs)
-                    targets = (rows.repeat(out_degs) * np.int64(num_nodes)
-                               + ckg.tails[edge_ids])
-                    residual += np.bincount(
-                        targets, weights=spread,
-                        minlength=batch * num_nodes).reshape(batch, num_nodes)
-                total_pushes += int(edge_ids.size) + int(rows.size)
+            total_pushes += _sweep_chunk(ckg, estimate, residual, thresholds,
+                                         degrees, inv_degrees, alpha)
             total_residual += float(residual.sum())
 
             for row in range(batch):
                 kept = np.flatnonzero(estimate[row])
-                if kept.size > top_m:
+                if not keep_residuals and kept.size > top_m:
                     top = np.argpartition(-estimate[row, kept], top_m - 1)[:top_m]
                     kept = np.sort(kept[top])
                 chunks_nodes.append(kept)
                 chunks_values.append(estimate[row, kept].astype(np.float32))
                 lengths[start + row] = kept.size
+                if keep_residuals:
+                    res_kept = np.flatnonzero(residual[row])
+                    res_chunks_nodes.append(res_kept)
+                    res_chunks_values.append(
+                        residual[row, res_kept].astype(np.float32))
+                    res_lengths[start + row] = res_kept.size
 
     indptr = np.concatenate([[0], np.cumsum(lengths)])
+    res_arrays = {}
+    if keep_residuals:
+        res_arrays = dict(
+            res_indptr=np.concatenate([[0], np.cumsum(res_lengths)]),
+            res_node_ids=(np.concatenate(res_chunks_nodes)
+                          if res_chunks_nodes else np.empty(0, dtype=np.int64)),
+            res_values=(np.concatenate(res_chunks_values)
+                        if res_chunks_values
+                        else np.empty(0, dtype=np.float32)))
     scores = SparsePPRScores(
         users=user_array, num_nodes=num_nodes, indptr=indptr,
         node_ids=(np.concatenate(chunks_nodes) if chunks_nodes
                   else np.empty(0, dtype=np.int64)),
         values=(np.concatenate(chunks_values) if chunks_values
                 else np.empty(0, dtype=np.float32)),
-        residual=total_residual)
+        residual=total_residual, alpha=alpha, epsilon=epsilon, **res_arrays)
 
     telemetry.counter("ppr.push_ops", total_pushes)
     telemetry.counter("ppr.users", user_array.size)
     telemetry.gauge("ppr.residual_mass", total_residual)
     telemetry.gauge("ppr.score_bytes", scores.nbytes)
     return scores
+
+
+# ----------------------------------------------------------------------
+# Incremental maintenance
+# ----------------------------------------------------------------------
+
+
+@dataclass
+class IncrementalPushResult:
+    """Outcome of :func:`incremental_push`.
+
+    Attributes
+    ----------
+    ckg:
+        The updated graph (new :class:`CollaborativeKG`; the input graph
+        is never mutated).
+    scores:
+        Fresh :class:`SparsePPRScores` (with residuals kept) valid for
+        ``ckg``; the input scores are never mutated.
+    changed_users:
+        User ids whose estimate rows differ from the input — the set a
+        serving cache must invalidate.
+    push_ops:
+        Work done: resumed sweep ops plus one op per applied per-row
+        edge adjustment (the ``ppr.incremental_pushes`` counter).
+    """
+
+    ckg: CollaborativeKG
+    scores: SparsePPRScores
+    changed_users: np.ndarray
+    push_ops: int
+
+
+def incremental_push(ckg: CollaborativeKG, scores: SparsePPRScores,
+                     new_interactions: Sequence[Tuple[int, int]],
+                     chunk_users: int = DEFAULT_CHUNK_USERS
+                     ) -> IncrementalPushResult:
+    """Maintain forward-push PPR scores after new user-item interactions.
+
+    Instead of re-running :func:`forward_push_batch` from scratch on the
+    updated graph, this restores the push invariant
+
+        ``p(v) + sum_u r(u) * ppr_u(v) = ppr_source(v)``
+
+    directly.  Each interaction inserts two directed edges (``interact``
+    plus its reverse twin); for an inserted edge ``(h, t)`` where ``h``
+    previously had out-degree ``d``, the estimate mass already pushed
+    through ``h`` (``p(h) = alpha * m``, so ``m = p(h) / alpha`` units
+    were pushed) was spread over ``d`` out-edges when it should now
+    cover ``d + 1``.  Folding the correction into the push state gives,
+    per score row (Zhang, Lofgren & Goel, KDD 2016):
+
+    * ``d > 0``:  ``p(h) += p(h) / d``, ``r(h) -= p(h) / (alpha * d)``,
+      ``r(t) += (1 - alpha) * p(h) / (alpha * d)``
+    * ``d == 0`` (a dangling head gains its first edge): the absorbed
+      mass re-emerges at the tail, ``r(t) += (1 - alpha) * p(h) / alpha``
+
+    applied sequentially per inserted edge with running degrees, so the
+    invariant holds exactly on each intermediate graph.  The head
+    adjustment can leave ``r(h)`` *negative*; the resumed sweep drains
+    ``|r| > epsilon * outdeg`` so the final error bound is two-sided:
+    every score is within ``epsilon * outdeg(v)`` of the true PPR on the
+    updated graph (same contract as a from-scratch push).
+
+    Work is proportional to the displaced residual — after a small
+    interaction delta this is a tiny fraction of a from-scratch solve
+    (the ``ppr.incremental_vs_scratch`` benchmark gates exactly that).
+
+    Parameters
+    ----------
+    ckg:
+        Graph the ``scores`` were computed on.
+    scores:
+        Must have been computed with ``keep_residuals=True``.
+    new_interactions:
+        ``(user, item)`` pairs to append; duplicates of existing
+        interactions are rejected by
+        :meth:`~repro.graph.ckg.CollaborativeKG.add_interactions`.
+    chunk_users:
+        Score rows densified simultaneously (bounds temporary memory).
+    """
+    if not scores.has_residuals:
+        raise ValueError(
+            "incremental_push requires scores computed with "
+            "keep_residuals=True — residual rows were not stored")
+    if scores.num_nodes != ckg.num_nodes:
+        raise ValueError(
+            f"scores cover {scores.num_nodes} nodes but the graph has "
+            f"{ckg.num_nodes} — they belong to different graphs")
+    if chunk_users < 1:
+        raise ValueError(f"chunk_users must be >= 1, got {chunk_users}")
+    alpha = float(scores.alpha)
+    epsilon = float(scores.epsilon)
+
+    pairs = [(int(u), int(i)) for u, i in new_interactions]
+    if not pairs:
+        raise ValueError("new_interactions must be non-empty")
+
+    with telemetry.span("ppr.incremental_push"):
+        new_ckg = ckg.add_interactions(pairs)
+        num_nodes = ckg.num_nodes
+
+        # The inserted directed edges, in application order: each pair
+        # contributes interact (user -> item node) then its reverse twin.
+        pair_array = np.asarray(pairs, dtype=np.int64)
+        user_nodes = pair_array[:, 0]
+        item_nodes = ckg.item_nodes[pair_array[:, 1]]
+        ins_heads = np.empty(2 * len(pairs), dtype=np.int64)
+        ins_tails = np.empty_like(ins_heads)
+        ins_heads[0::2] = user_nodes
+        ins_tails[0::2] = item_nodes
+        ins_heads[1::2] = item_nodes
+        ins_tails[1::2] = user_nodes
+
+        # Out-degree of each head at the moment its edge is applied:
+        # the old degree plus earlier insertions at the same head.
+        old_degrees = np.diff(ckg.indptr)
+        deg_at = old_degrees[ins_heads].copy()
+        runs: dict = {}
+        for j, head in enumerate(ins_heads.tolist()):
+            deg_at[j] += runs.get(head, 0)
+            runs[head] = runs.get(head, 0) + 1
+
+        new_degrees = np.diff(new_ckg.indptr)
+        inv_degrees = (1.0 - alpha) / np.maximum(new_degrees, 1)
+        thresholds = epsilon * new_degrees.astype(np.float64)
+
+        chunks_nodes = []
+        chunks_values = []
+        lengths = np.empty(scores.num_rows, dtype=np.int64)
+        res_chunks_nodes = []
+        res_chunks_values = []
+        res_lengths = np.empty(scores.num_rows, dtype=np.int64)
+        changed = np.zeros(scores.num_rows, dtype=bool)
+        sweep_ops = 0
+        total_residual = 0.0
+
+        for start in range(0, scores.num_rows, chunk_users):
+            stop = min(start + chunk_users, scores.num_rows)
+            batch = stop - start
+            estimate = np.zeros((batch, num_nodes))
+            residual = np.zeros((batch, num_nodes))
+            for local, row in enumerate(range(start, stop)):
+                lo, hi = scores.indptr[row], scores.indptr[row + 1]
+                estimate[local, scores.node_ids[lo:hi]] = scores.values[lo:hi]
+                lo, hi = scores.res_indptr[row], scores.res_indptr[row + 1]
+                residual[local, scores.res_node_ids[lo:hi]] = \
+                    scores.res_values[lo:hi]
+
+            touched = np.zeros(batch, dtype=bool)
+            for j in range(ins_heads.size):
+                head = int(ins_heads[j])
+                tail = int(ins_tails[j])
+                degree = int(deg_at[j])
+                p_head = estimate[:, head].copy()
+                if degree == 0:
+                    residual[:, tail] += (1.0 - alpha) / alpha * p_head
+                else:
+                    estimate[:, head] += p_head / degree
+                    residual[:, head] -= p_head / (alpha * degree)
+                    residual[:, tail] += \
+                        (1.0 - alpha) * p_head / (alpha * degree)
+                touched |= p_head != 0.0
+
+            sweep_ops += _sweep_chunk(new_ckg, estimate, residual,
+                                      thresholds, new_degrees, inv_degrees,
+                                      alpha, signed=True, touched=touched)
+            total_residual += float(np.abs(residual).sum())
+            changed[start:stop] = touched
+
+            for local, row in enumerate(range(start, stop)):
+                kept = np.flatnonzero(estimate[local])
+                chunks_nodes.append(kept)
+                chunks_values.append(estimate[local, kept].astype(np.float32))
+                lengths[row] = kept.size
+                res_kept = np.flatnonzero(residual[local])
+                res_chunks_nodes.append(res_kept)
+                res_chunks_values.append(
+                    residual[local, res_kept].astype(np.float32))
+                res_lengths[row] = res_kept.size
+
+        new_scores = SparsePPRScores(
+            users=scores.users.copy(), num_nodes=num_nodes,
+            indptr=np.concatenate([[0], np.cumsum(lengths)]),
+            node_ids=(np.concatenate(chunks_nodes) if chunks_nodes
+                      else np.empty(0, dtype=np.int64)),
+            values=(np.concatenate(chunks_values) if chunks_values
+                    else np.empty(0, dtype=np.float32)),
+            residual=total_residual,
+            res_indptr=np.concatenate([[0], np.cumsum(res_lengths)]),
+            res_node_ids=(np.concatenate(res_chunks_nodes)
+                          if res_chunks_nodes
+                          else np.empty(0, dtype=np.int64)),
+            res_values=(np.concatenate(res_chunks_values)
+                        if res_chunks_values
+                        else np.empty(0, dtype=np.float32)),
+            alpha=alpha, epsilon=epsilon)
+
+        # One op per applied per-edge adjustment, plus the resumed sweeps;
+        # recorded under both counters so `bench compare` can gate the
+        # incremental arm's share of the total push work.
+        push_ops = sweep_ops + int(ins_heads.size)
+        telemetry.counter("ppr.push_ops", push_ops)
+        telemetry.counter("ppr.incremental_pushes", push_ops)
+        telemetry.gauge("ppr.residual_mass", total_residual)
+        telemetry.gauge("ppr.score_bytes", new_scores.nbytes)
+
+    return IncrementalPushResult(
+        ckg=new_ckg, scores=new_scores,
+        changed_users=scores.users[changed].copy(), push_ops=push_ops)
 
 
 def sparsify_scores(scores: np.ndarray, users: Sequence[int],
@@ -374,13 +718,23 @@ def concat_sparse_scores(parts: Sequence[SparsePPRScores]) -> SparsePPRScores:
     for part in parts:
         residual += part.residual
     lengths = np.concatenate([np.diff(part.indptr) for part in parts])
+    res_arrays = {}
+    if all(part.has_residuals for part in parts):
+        res_lengths = np.concatenate(
+            [np.diff(part.res_indptr) for part in parts])
+        res_arrays = dict(
+            res_indptr=np.concatenate([[0], np.cumsum(res_lengths)]),
+            res_node_ids=np.concatenate(
+                [part.res_node_ids for part in parts]),
+            res_values=np.concatenate([part.res_values for part in parts]),
+            alpha=parts[0].alpha, epsilon=parts[0].epsilon)
     return SparsePPRScores(
         users=np.concatenate([part.users for part in parts]),
         num_nodes=num_nodes,
         indptr=np.concatenate([[0], np.cumsum(lengths)]),
         node_ids=np.concatenate([part.node_ids for part in parts]),
         values=np.concatenate([part.values for part in parts]),
-        residual=residual)
+        residual=residual, **res_arrays)
 
 
 #: either PPR score backend, as accepted by the computation-graph pruner

@@ -36,6 +36,7 @@ path is one module-global ``is None`` check per published snapshot
 from __future__ import annotations
 
 import collections
+import errno
 import json
 import re
 import threading
@@ -244,39 +245,75 @@ class MetricsExporter:
             "health_alerts": float(alerts.get("total", 0.0)),
         }
 
+    # -- request routing (overridable by subclasses) -------------------
+    def _handle_get(self, path: str) -> Optional[Tuple[int, str, bytes]]:
+        """Route a GET; ``(status, content_type, body)`` or ``None`` = 404.
+
+        Subclasses (e.g. the serving layer's ``RecommendationServer``)
+        extend the endpoint set by overriding this and falling back to
+        ``super()`` — the threading/bind/lifecycle plumbing is shared.
+        """
+        if path == "/metrics":
+            self.scrapes += 1
+            body = self.render_metrics().encode("utf-8")
+            return 200, "text/plain; version=0.0.4; charset=utf-8", body
+        if path == "/healthz":
+            body = (json.dumps(self.healthz(), sort_keys=True)
+                    + "\n").encode("utf-8")
+            return 200, "application/json", body
+        return None
+
+    def _handle_post(self, path: str,
+                     payload: bytes) -> Optional[Tuple[int, str, bytes]]:
+        """Route a POST; the base exporter accepts none (``None`` = 404)."""
+        return None
+
     # -- lifecycle -----------------------------------------------------
     def start(self) -> int:
-        """Bind and serve on daemon threads; returns the bound port."""
+        """Bind and serve on daemon threads; returns the bound port.
+
+        Port ``0`` binds an ephemeral port; the chosen port is recorded
+        on ``self.port`` (and returned) so callers can report it.  A
+        taken port raises a clear ``RuntimeError`` instead of leaking
+        the raw ``OSError`` traceback.
+        """
         if self._server is not None:
             return self.port
         exporter = self
 
         class _Handler(BaseHTTPRequestHandler):
-            def do_GET(self):  # noqa: N802 — http.server API
-                if self.path.split("?", 1)[0] == "/metrics":
-                    exporter.scrapes += 1
-                    body = exporter.render_metrics().encode("utf-8")
-                    self.send_response(200)
-                    self.send_header("Content-Type",
-                                     "text/plain; version=0.0.4; "
-                                     "charset=utf-8")
-                elif self.path.split("?", 1)[0] == "/healthz":
-                    body = (json.dumps(exporter.healthz(), sort_keys=True)
-                            + "\n").encode("utf-8")
-                    self.send_response(200)
-                    self.send_header("Content-Type", "application/json")
-                else:
-                    body = b"not found\n"
-                    self.send_response(404)
-                    self.send_header("Content-Type", "text/plain")
+            def _reply(self, result: Optional[Tuple[int, str, bytes]]):
+                if result is None:
+                    result = (404, "text/plain", b"not found\n")
+                status, content_type, body = result
+                self.send_response(status)
+                self.send_header("Content-Type", content_type)
                 self.send_header("Content-Length", str(len(body)))
                 self.end_headers()
                 self.wfile.write(body)
 
+            def do_GET(self):  # noqa: N802 — http.server API
+                self._reply(exporter._handle_get(self.path.split("?", 1)[0]))
+
+            def do_POST(self):  # noqa: N802 — http.server API
+                length = int(self.headers.get("Content-Length") or 0)
+                payload = self.rfile.read(length) if length > 0 else b""
+                self._reply(exporter._handle_post(
+                    self.path.split("?", 1)[0], payload))
+
             def log_message(self, fmt, *args):  # silence per-request noise
                 pass
 
-        self._server = ThreadingHTTPServer((self.host, self.port), _Handler)
+        try:
+            self._server = ThreadingHTTPServer((self.host, self.port),
+                                               _Handler)
+        except OSError as error:
+            if error.errno == errno.EADDRINUSE:
+                raise RuntimeError(
+                    f"cannot serve on {self.host}:{self.port}: port already "
+                    f"in use — pass port 0 to bind an ephemeral port "
+                    f"instead (the bound port is reported back)") from error
+            raise
         self._server.daemon_threads = True
         self.port = self._server.server_address[1]
         self._started_unix = time.time()

@@ -1,0 +1,16 @@
+"""Online serving: batched top-K queries + incremental PPR maintenance.
+
+The ROADMAP's online layer: :class:`RecommendationService` answers
+batched top-K requests from precomputed state (sparse PPR scores with
+kept residuals + a trained KUCNet model) behind a bounded per-user LRU
+cache, and folds new interactions in via
+:func:`~repro.ppr.incremental_push` instead of recomputing from scratch.
+:class:`RecommendationServer` exposes it over HTTP (``/recommend``,
+``/interactions``, ``/metrics``, ``/healthz``) by reusing the runstore
+exporter's plumbing.  See ``docs/serving.md``.
+"""
+
+from .http import RecommendationServer
+from .service import RecommendationService, ServeConfig
+
+__all__ = ["RecommendationService", "RecommendationServer", "ServeConfig"]

@@ -117,3 +117,14 @@ class TestTopKItems:
         scores = personalized_pagerank(ckg, 0)
         with pytest.raises(ValueError):
             top_k_items_by_ppr(ckg, scores, k=0)
+
+    def test_saturated_exclusion_never_leaks(self, ckg):
+        # Regression: when k exceeded the number of rankable items, the
+        # -inf-masked excluded items used to resurface in the tail of
+        # the ranking.  They must never appear at any position.
+        scores = personalized_pagerank(ckg, 0)
+        for excluded in ([0, 1], [0, 1, 2], [0, 1, 2, 3]):
+            ranked = top_k_items_by_ppr(ckg, scores, k=ckg.num_items,
+                                        exclude_items=excluded)
+            assert not set(excluded) & set(ranked.tolist())
+            assert len(ranked) == ckg.num_items - len(excluded)

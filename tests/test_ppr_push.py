@@ -178,6 +178,26 @@ class TestSparseScores:
         with pytest.raises(KeyError):
             scores.select([99])
 
+    def test_select_error_names_all_missing_users(self, scores):
+        # Regression: a miss used to surface as an opaque KeyError from
+        # the internal row map; now every offender is named up front.
+        with pytest.raises(KeyError, match=r"user\(s\) \[7, 99\]"):
+            scores.select([4, 99, 7])
+
+    def test_lookup_rejects_mismatched_lengths(self, scores):
+        with pytest.raises(ValueError, match="slots"):
+            scores.lookup(np.array([0, 1]), np.array([2]))
+
+    def test_lookup_names_out_of_range_slot_and_node(self, scores):
+        # Regression: out-of-range queries used to garbage-index the
+        # CSR; now the first offender is named.
+        with pytest.raises(IndexError, match="slot 5"):
+            scores.lookup(np.array([0, 5]), np.array([2, 2]))
+        with pytest.raises(IndexError, match="node 10"):
+            scores.lookup(np.array([0, 0]), np.array([2, 10]))
+        with pytest.raises(IndexError):
+            scores.lookup(np.array([-3]), np.array([2]))
+
     def test_normalize_by_degree(self, scores):
         degrees = np.arange(10, dtype=np.int64)  # node 0 has degree 0
         expected = scores.toarray() / np.maximum(degrees, 1)

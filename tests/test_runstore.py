@@ -380,6 +380,21 @@ class TestExporter:
             runstore.stop_exporter()
         assert runstore.active_exporter() is None
 
+    def test_taken_port_raises_clear_error(self):
+        # Regression: binding a taken port used to leak the raw OSError
+        # traceback; it now raises a RuntimeError pointing at port 0.
+        first = MetricsExporter(port=0, registry=tm.MetricsRegistry(),
+                                snapshot_interval=0.0)
+        port = first.start()
+        assert port > 0 and first.port == port  # ephemeral port reported
+        second = MetricsExporter(port=port, registry=tm.MetricsRegistry(),
+                                 snapshot_interval=0.0)
+        try:
+            with pytest.raises(RuntimeError, match="already in use"):
+                second.start()
+        finally:
+            first.stop()
+
     def test_background_snapshot_thread_is_bounded(self):
         exporter = MetricsExporter(port=0, registry=tm.MetricsRegistry(),
                                    snapshot_interval=0.01, max_snapshots=3)

@@ -98,15 +98,22 @@ def ppr_storage_report(scores: PPRScoreLike) -> Dict[str, float]:
     ``fill`` is the stored fraction of the logical U x N matrix (1.0 for
     the dense backend), the direct measure of what top-M storage saves.
     """
-    if isinstance(scores, SparsePPRScores):
+    if not isinstance(scores, np.ndarray):
+        # Both CSR backends (in-RAM and mmap'd shards) expose the same
+        # num_rows/nnz/nbytes surface; only the label differs.
+        from ..storage import ShardedPPRScores
+        sharded = isinstance(scores, ShardedPPRScores)
         logical = scores.num_rows * scores.num_nodes
-        return {
-            "backend": "push",
+        report = {
+            "backend": "push-mmap" if sharded else "push",
             "rows": scores.num_rows,
             "score_bytes": float(scores.nbytes),
             "stored_entries": float(scores.nnz),
             "fill": scores.nnz / max(logical, 1),
         }
+        if sharded:
+            report["shards"] = float(scores.num_shards)
+        return report
     scores = np.asarray(scores)
     return {
         "backend": "power",

@@ -53,13 +53,17 @@ class Workload:
     description: str
     build: Callable[..., Callable[[], Any]]
     params: Mapping[str, Dict[str, Any]]
+    #: part of the no-arguments ``bench run`` suite?  Opt-out workloads
+    #: (large-scale capacity probes) run only when named explicitly, so
+    #: they never join the committed-baseline comparison set.
+    default: bool = True
 
 
 WORKLOADS: Dict[str, Workload] = {}
 
 
 def register(name: str, description: str, *, quick: Dict[str, Any],
-             full: Dict[str, Any]):
+             full: Dict[str, Any], default: bool = True):
     """Decorator adding a ``build`` factory to the registry."""
 
     def decorate(build: Callable[..., Callable[[], Any]]):
@@ -67,16 +71,18 @@ def register(name: str, description: str, *, quick: Dict[str, Any],
             raise ValueError(f"duplicate workload {name!r}")
         WORKLOADS[name] = Workload(name=name, description=description,
                                    build=build,
-                                   params={"quick": quick, "full": full})
+                                   params={"quick": quick, "full": full},
+                                   default=default)
         return build
 
     return decorate
 
 
 def get_workloads(names: List[str] = None) -> List[Workload]:
-    """Resolve ``names`` (or all registered workloads) in registry order."""
+    """Resolve ``names`` in registry order; no names = default suite."""
     if not names:
-        return list(WORKLOADS.values())
+        return [workload for workload in WORKLOADS.values()
+                if workload.default]
     missing = [name for name in names if name not in WORKLOADS]
     if missing:
         raise KeyError(f"unknown workloads {missing}; "
@@ -450,6 +456,63 @@ def _build_ppr_incremental(scale: float, epsilon: float, num_new: int):
         result = incremental_push(ckg, base, pairs)
         forward_push_batch(result.ckg, users, epsilon=epsilon,
                            keep_residuals=True)
+
+    return run
+
+
+@register("ppr.scale_mmap",
+          "out-of-core capacity probe: sharded forward-push precompute + "
+          "mmap-backed eval at 100x the default user population (1M-user "
+          "recipe in docs/storage.md); storage.shards_written and "
+          "ppr.push_ops gate strictly, proc.peak_rss_bytes is the "
+          "advisory out-of-core proof (the dense equivalent needs "
+          "users x nodes x 8 bytes of RAM)",
+          quick={"num_users": 20_000, "num_items": 400, "chunk_users": 256,
+                 "epsilon": 2e-3, "top_m": 64, "sample_users": 64},
+          full={"num_users": 200_000, "num_items": 2_000,
+                "chunk_users": 1_024, "epsilon": 2e-3, "top_m": 64,
+                "sample_users": 256},
+          default=False)
+def _build_ppr_scale_mmap(num_users: int, num_items: int, chunk_users: int,
+                          epsilon: float, top_m: int, sample_users: int):
+    import atexit
+    import os
+    import resource
+    import shutil
+    import tempfile
+
+    from .. import telemetry
+    from ..data import traditional_split
+    from ..data.synthetic import SyntheticConfig, generate
+    from ..ppr import forward_push_sharded
+
+    dataset = generate(SyntheticConfig(
+        name="scale_mmap", num_users=num_users, num_items=num_items,
+        stream=True, seed=0))
+    split = traditional_split(dataset, seed=0)
+    ckg = dataset.build_ckg(split.train)
+    directory = tempfile.mkdtemp(prefix="repro_bench_scale_")
+    atexit.register(shutil.rmtree, directory, ignore_errors=True)
+
+    rng = np.random.default_rng(0)
+    sample = np.sort(rng.choice(ckg.num_users,
+                                size=min(sample_users, ckg.num_users),
+                                replace=False))
+    probe_nodes = rng.integers(0, ckg.num_nodes, size=sample.size)
+
+    def run():
+        scores = forward_push_sharded(
+            ckg, range(ckg.num_users), os.path.join(directory, "scores"),
+            epsilon=epsilon, top_m=top_m, chunk_users=chunk_users,
+            overwrite=True)
+        # Eval off the mmap'd shards: row selection (the trainer/server
+        # gather) plus point lookups (the pruner gather).  Row index ==
+        # user id because every user was solved in order.
+        scores.select(sample.tolist())
+        scores.lookup(sample, probe_nodes)
+        telemetry.gauge(
+            "proc.peak_rss_bytes",
+            resource.getrusage(resource.RUSAGE_SELF).ru_maxrss * 1024)
 
     return run
 

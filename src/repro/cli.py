@@ -102,6 +102,10 @@ def build_parser() -> argparse.ArgumentParser:
                          help="KUCNet layer count L")
     profile.add_argument("--k", type=int, default=10,
                          help="PPR top-K pruning budget")
+    profile.add_argument("--store", default=None, choices=["ram", "mmap"],
+                         help="PPR score backend: in-RAM CSR or on-disk "
+                              "mmap'd shards (default: $REPRO_PPR_STORE, "
+                              "then ram; see docs/storage.md)")
     profile.add_argument("--ppr-method", default="power",
                          choices=["power", "push"],
                          help="PPR solver: dense power iteration or sparse "
@@ -146,6 +150,10 @@ def build_parser() -> argparse.ArgumentParser:
                        help="KUCNet layer count L")
     serve.add_argument("--k", type=int, default=10,
                        help="PPR top-K pruning budget")
+    serve.add_argument("--store", default=None, choices=["ram", "mmap"],
+                       help="serving score backend: in-RAM CSR or on-disk "
+                            "mmap'd shards (default: $REPRO_PPR_STORE, "
+                            "then ram; see docs/storage.md)")
     serve.add_argument("--top-k", type=int, default=20,
                        help="items ranked and cached per user (requests "
                             "may ask for any k <= this)")
@@ -594,6 +602,7 @@ def _run_profile(args: argparse.Namespace) -> int:
                                k=args.k, ppr_method=args.ppr_method,
                                num_workers=args.workers,
                                seed=args.seed,
+                               ppr_store=args.store,
                                health_policy=health_policy)
 
     # --trace-out flight-records the run; when `repro trace` wraps this
@@ -699,7 +708,7 @@ def _run_serve(args: argparse.Namespace) -> int:
     model_config = KUCNetConfig(dim=16, depth=args.depth, seed=args.seed)
     train_config = TrainConfig(epochs=max(args.epochs, 0), batch_users=16,
                                k=args.k, seed=args.seed, verbose=False,
-                               ppr_method="push")
+                               ppr_method="push", ppr_store=args.store)
     recommender = KUCNetRecommender(model_config, train_config)
 
     # Serving is an always-instrumented command: scrapes of /metrics

@@ -36,7 +36,8 @@ from ..graph import CollaborativeKG
 from ..health import HealthConfig, HealthHook, HealthMonitor, check_ppr_residual
 from ..parallel import chunk_sequence, resolve_workers, run_parallel
 from ..ppr import (PPRScoreLike, concat_sparse_scores, forward_push_batch,
-                   personalized_pagerank_batch)
+                   forward_push_sharded, personalized_pagerank_batch,
+                   personalized_pagerank_mmap)
 from ..sampling import ComputationGraph, build_user_centric_graph
 from .model import KUCNet, KUCNetConfig, Propagation
 
@@ -80,6 +81,16 @@ class TrainConfig:
     #: users processed per preprocessing chunk (bounds peak temporary
     #: memory for both backends)
     ppr_chunk_users: int = 64
+    #: score/graph storage backend: ``"ram"`` keeps today's in-memory
+    #: arrays; ``"mmap"`` writes per-chunk ``.npy`` shards (push) or a
+    #: dense ``.npy`` memmap (power) plus an npy-mmap CKG, and serves
+    #: reads off disk — bitwise-identical results, bounded RSS (see
+    #: ``docs/storage.md``).  ``None`` defers to ``$REPRO_PPR_STORE``.
+    ppr_store: Optional[str] = None
+    #: directory for the mmap tier's files.  ``None`` uses a fresh
+    #: tempdir reclaimed when the recommender is garbage-collected; an
+    #: explicit path is created if missing and left behind.
+    ppr_store_dir: Optional[str] = None
     #: rank pruned edges by ``r_u[v] / deg(v)`` instead of raw PPR mass.
     #: On the symmetrized CKG, walk reversibility makes the
     #: degree-normalized score proportional to the probability that a
@@ -154,6 +165,7 @@ class KUCNetRecommender:
             self.health_monitor = HealthMonitor(
                 HealthConfig(policy=self.train_config.health_policy))
         self.ckg = split.dataset.build_ckg(split.train)
+        self._setup_store()
         with telemetry.span("ppr.precompute") as ppr_span:
             self.ppr_scores = self._compute_ppr_scores()
         self.ppr_seconds = ppr_span.elapsed
@@ -163,7 +175,13 @@ class KUCNetRecommender:
                                self.health_monitor)
         if self.train_config.ppr_degree_normalized:
             degrees = np.diff(self.ckg.indptr).astype(np.float64)
-            if isinstance(self.ppr_scores, np.ndarray):
+            # np.memmap subclasses ndarray, so its branch must come
+            # first — the ndarray branch would densify the whole matrix
+            # into RAM, defeating the out-of-core tier.
+            if isinstance(self.ppr_scores, np.memmap):
+                self.ppr_scores = _normalize_memmap(self.ppr_scores,
+                                                    degrees)
+            elif isinstance(self.ppr_scores, np.ndarray):
                 self.ppr_scores = self.ppr_scores / np.maximum(degrees, 1.0)[None, :]
             else:
                 self.ppr_scores.normalize_by_degree(degrees)
@@ -180,6 +198,31 @@ class KUCNetRecommender:
                                   dtype=np.int64)
             for user in split.train.users_with_interactions()
         }
+
+    def _setup_store(self) -> None:
+        """Resolve the storage backend; under mmap, move the CKG to disk.
+
+        The saved-then-reopened CKG holds the exact arrays of the
+        in-RAM graph (CSR order included), so everything downstream is
+        bitwise-unchanged — but edge arrays are served from memory maps
+        and workers pickle the graph by path.  Auto-created store
+        directories are reclaimed when the recommender is collected.
+        """
+        from ..storage import resolve_store, resolve_store_dir
+        self.ppr_store = resolve_store(self.train_config.ppr_store)
+        self.ppr_store_dir: Optional[str] = None
+        if self.ppr_store != "mmap":
+            return
+        self.ppr_store_dir = resolve_store_dir(self.train_config.ppr_store_dir)
+        if not self.train_config.ppr_store_dir:
+            import shutil
+            import weakref
+            weakref.finalize(self, shutil.rmtree, self.ppr_store_dir,
+                             ignore_errors=True)
+        ckg_dir = os.path.join(self.ppr_store_dir, "ckg")
+        self.ckg.save_npy(ckg_dir)
+        from ..graph import load_npy
+        self.ckg = load_npy(ckg_dir)
 
     def _compute_ppr_scores(self) -> PPRScoreLike:
         """One-time PPR preprocessing (Table VI), in bounded-memory chunks.
@@ -204,6 +247,7 @@ class KUCNetRecommender:
         chunk = max(1, int(config.ppr_chunk_users))
         workers = resolve_workers(config.num_workers)
         chunks = chunk_sequence(users, chunk)
+        mmap = self.ppr_store == "mmap"
         if config.ppr_method == "push":
             if workers > 1 and len(chunks) > 1:
                 parts = run_parallel(
@@ -211,18 +255,47 @@ class KUCNetRecommender:
                     context=(self.ckg, config.ppr_alpha, config.ppr_epsilon,
                              config.ppr_top_m),
                     num_workers=workers, label="ppr.push")
-                scores = concat_sparse_scores(parts)
+                if mmap:
+                    from ..storage import ShardWriter
+                    writer = ShardWriter(
+                        os.path.join(self.ppr_store_dir, "scores"),
+                        self.ckg.num_nodes, overwrite=True)
+                    for part in parts:
+                        writer.append(part)
+                    scores = writer.finalize(alpha=config.ppr_alpha,
+                                             epsilon=config.ppr_epsilon)
+                else:
+                    scores = concat_sparse_scores(parts)
                 # Per-chunk gauge writes are chunk-local; restate the
                 # whole-population values the serial call would record.
                 telemetry.gauge("ppr.residual_mass", scores.residual)
                 telemetry.gauge("ppr.score_bytes", scores.nbytes)
                 return scores
+            if mmap:
+                return forward_push_sharded(
+                    self.ckg, users,
+                    os.path.join(self.ppr_store_dir, "scores"),
+                    alpha=config.ppr_alpha, epsilon=config.ppr_epsilon,
+                    top_m=config.ppr_top_m, chunk_users=chunk,
+                    overwrite=True)
             return forward_push_batch(
                 self.ckg, users, alpha=config.ppr_alpha,
                 epsilon=config.ppr_epsilon, top_m=config.ppr_top_m,
                 chunk_users=chunk)
+        if mmap and not (workers > 1 and len(chunks) > 1):
+            return personalized_pagerank_mmap(
+                self.ckg, users,
+                os.path.join(self.ppr_store_dir, "power_scores.npy"),
+                alpha=config.ppr_alpha, iterations=config.ppr_iterations,
+                chunk_users=chunk, tolerance=config.ppr_tolerance)
         adjacency = self.ckg.normalized_adjacency()
-        dense = np.empty((users.size, self.ckg.num_nodes))
+        if mmap:
+            out_path = os.path.join(self.ppr_store_dir, "power_scores.npy")
+            dense = np.lib.format.open_memmap(
+                out_path, mode="w+", dtype=np.float64,
+                shape=(users.size, self.ckg.num_nodes))
+        else:
+            dense = np.empty((users.size, self.ckg.num_nodes))
         if workers > 1 and len(chunks) > 1:
             parts = run_parallel(
                 _ppr_power_chunk, chunks,
@@ -240,6 +313,10 @@ class KUCNetRecommender:
                     alpha=config.ppr_alpha, iterations=config.ppr_iterations,
                     adjacency=adjacency, tolerance=config.ppr_tolerance)
                 dense[start:start + chunk] = part.scores
+        if mmap:
+            dense.flush()
+            del dense
+            dense = np.load(out_path, mmap_mode="r")
         telemetry.gauge("ppr.score_bytes", dense.nbytes)
         return dense
 
@@ -624,6 +701,25 @@ class KUCNetRecommender:
 def _npz_path(path: str) -> str:
     """The on-disk name ``np.savez`` produces for ``path``."""
     return path if path.endswith(".npz") else path + ".npz"
+
+
+def _normalize_memmap(scores: np.memmap, degrees: np.ndarray,
+                      chunk_rows: int = 64) -> np.memmap:
+    """Degree-normalize an on-disk dense score matrix, chunk by chunk.
+
+    Reopens the backing file writable, divides row blocks in place with
+    the same float64 arithmetic as the in-RAM path (so the stored values
+    stay bitwise-identical to it), and hands back a read-only map.
+    """
+    path = scores.filename
+    del scores
+    writable = np.load(path, mmap_mode="r+")
+    divisor = np.maximum(degrees, 1.0)[None, :]
+    for start in range(0, writable.shape[0], chunk_rows):
+        writable[start:start + chunk_rows] /= divisor
+    writable.flush()
+    del writable
+    return np.load(path, mmap_mode="r")
 
 
 # ----------------------------------------------------------------------

@@ -82,6 +82,14 @@ class SyntheticConfig:
 
     seed: int = 0
 
+    #: force the streamed (vectorized, chunked) sampler on/off; ``None``
+    #: auto-enables it at ``STREAM_USER_THRESHOLD`` users.  The streamed
+    #: path draws from the same generative model but with a different
+    #: random-variate parameterization, so streamed and looped outputs
+    #: differ per seed (both are valid draws); presets stay below the
+    #: threshold and keep their committed byte-exact populations.
+    stream: Optional[bool] = None
+
     def scaled(self, scale: float) -> "SyntheticConfig":
         """Return a copy with user/item counts multiplied by ``scale``."""
         clone = SyntheticConfig(**vars(self))
@@ -90,8 +98,19 @@ class SyntheticConfig:
         return clone
 
 
+#: user count at which ``generate`` switches to the streamed sampler
+STREAM_USER_THRESHOLD = 50_000
+
+#: users sampled per block in the streamed path (bounds peak memory)
+STREAM_CHUNK_USERS = 65_536
+
+
 def generate(config: SyntheticConfig) -> Dataset:
     """Generate a :class:`Dataset` from ``config`` (deterministic per seed)."""
+    use_stream = (config.stream if config.stream is not None
+                  else config.num_users >= STREAM_USER_THRESHOLD)
+    if use_stream:
+        return _generate_streamed(config)
     rng = np.random.default_rng(config.seed)
 
     item_community = rng.integers(0, config.num_communities, size=config.num_items)
@@ -281,6 +300,260 @@ def _build_user_kg(rng, config, user_community, user_tastes):
                 other = int(rng.choice(members, p=overlaps / total))
                 triplets.append((int(user), 0, other))
     return triplets, 1
+
+
+# ----------------------------------------------------------------------
+# Streamed generation (generator scale; see docs/storage.md)
+# ----------------------------------------------------------------------
+
+def _generate_streamed(config: SyntheticConfig) -> Dataset:
+    """Vectorized, chunked analogue of the looped generator.
+
+    Same generative model — community-pooled shared attributes, Zipf
+    popularity, taste-affinity interaction mixture — but every stage is
+    array-at-a-time and users are sampled in blocks of
+    :data:`STREAM_CHUNK_USERS`, so peak memory is bounded by the chunk
+    size and the *output* arrays, never by ``num_users`` Python objects.
+    This is what makes ``SyntheticConfig.scaled`` usable at ~1M users
+    (the ``ppr.scale_mmap`` bench workload and ``--scale`` CLI path).
+    """
+    rng = np.random.default_rng(config.seed)
+    num_items = config.num_items
+    communities = config.num_communities
+    apc = config.attrs_per_community
+    num_rel = config.num_attr_relations
+
+    item_community = rng.integers(0, communities, size=num_items)
+    (kg, attr_indptr, attr_items, num_shared) = _build_item_kg_streamed(
+        rng, config, item_community)
+
+    user_community = rng.integers(0, communities, size=config.num_users)
+
+    # Zipf-like popularity over a random item permutation, as an
+    # inverse-CDF table for O(log n) draws.
+    ranks = rng.permutation(num_items) + 1
+    popularity = 1.0 / ranks.astype(np.float64) ** config.popularity_exponent
+    pop_cdf = np.cumsum(popularity / popularity.sum())
+    pop_cdf[-1] = 1.0
+
+    # Per-attribute popularity-weighted CDF over the attribute's item
+    # list, packed as one ascending array: entry e of attribute a holds
+    # ``a + cdf_within_a[e]``, so a single global searchsorted with key
+    # ``a + r`` (r uniform in [0,1)) lands inside a's segment.
+    entry_weights = popularity[attr_items]
+    seg_lengths = np.diff(attr_indptr)
+    totals = np.bincount(np.repeat(np.arange(num_shared), seg_lengths),
+                         weights=entry_weights, minlength=num_shared)
+    running = np.cumsum(entry_weights)
+    seg_base = np.where(attr_indptr[:-1] > 0, running[attr_indptr[:-1] - 1], 0.0)
+    within = running - np.repeat(seg_base, seg_lengths)
+    within /= np.repeat(np.where(totals > 0.0, totals, 1.0), seg_lengths)
+    nonempty = np.flatnonzero(seg_lengths)
+    within[attr_indptr[nonempty + 1] - 1] = 1.0  # exact segment ends
+    attr_cdf = np.repeat(np.arange(num_shared, dtype=np.float64),
+                         seg_lengths) + within
+
+    users_parts: List[np.ndarray] = []
+    items_parts: List[np.ndarray] = []
+    user_kg_parts: List[np.ndarray] = []
+    p_affinity = (config.affinity_sharpness
+                  / (1.0 + config.affinity_sharpness))
+    for start in range(0, config.num_users, STREAM_CHUNK_USERS):
+        stop = min(start + STREAM_CHUNK_USERS, config.num_users)
+        chunk = stop - start
+        tastes = _sample_tastes_streamed(rng, config,
+                                         user_community[start:stop])
+
+        degrees = np.minimum(
+            np.maximum(2, rng.poisson(config.mean_degree, size=chunk)),
+            num_items)
+        draw_user = np.repeat(np.arange(chunk, dtype=np.int64), degrees)
+        draws = draw_user.size
+
+        # Mixture: with probability sharpness/(1+sharpness) draw an item
+        # carrying one of the user's taste attributes (popularity-
+        # weighted within the attribute), else draw by popularity alone.
+        # Mirrors the looped sampler's popularity x exp(affinity) tilt.
+        taste_slot = rng.integers(0, max(config.taste_size, 1), size=draws)
+        attr_of_draw = tastes[draw_user, taste_slot]
+        uniform = rng.random(draws)
+        affine = ((rng.random(draws) < p_affinity)
+                  & (seg_lengths[attr_of_draw] > 0))
+
+        items = np.empty(draws, dtype=np.int64)
+        if affine.any():
+            keys = attr_of_draw[affine] + uniform[affine]
+            items[affine] = attr_items[
+                np.searchsorted(attr_cdf, keys, side="right")]
+        plain = ~affine
+        items[plain] = np.searchsorted(pop_cdf, uniform[plain], side="right")
+
+        pair_keys = np.unique((start + draw_user) * np.int64(num_items)
+                              + items)
+        users_parts.append(pair_keys // num_items)
+        items_parts.append(pair_keys % num_items)
+
+        if config.user_user_links > 0:
+            user_kg_parts.append(_user_links_streamed(
+                rng, config, user_community, start, stop))
+
+    interactions = np.stack([np.concatenate(users_parts),
+                             np.concatenate(items_parts)], axis=1)
+    ui_graph = UserItemGraph(config.num_users, num_items, interactions)
+
+    if config.user_user_links > 0:
+        links = (np.concatenate(user_kg_parts) if user_kg_parts
+                 else np.empty((0, 3), dtype=np.int64))
+        user_triplets, num_user_relations = links.tolist(), 1
+    else:
+        user_triplets, num_user_relations = [], 0
+
+    return Dataset(
+        name=config.name,
+        ui_graph=ui_graph,
+        kg=kg,
+        item_to_entity=np.arange(num_items, dtype=np.int64),
+        user_triplets=user_triplets,
+        num_user_relations=num_user_relations,
+    )
+
+
+def _build_item_kg_streamed(rng, config, item_community):
+    """Vectorized item-side KG; returns the KG plus a CSR over shared
+    attributes (``attr_indptr``/``attr_items``: items linked to each
+    shared-attribute ordinal, the affinity index of the streamed
+    interaction sampler)."""
+    num_items = config.num_items
+    communities = config.num_communities
+    apc = config.attrs_per_community
+    shared_offset = num_items
+    num_shared = config.num_attr_relations * communities * apc
+    unique_offset = shared_offset + num_shared
+
+    heads_parts: List[np.ndarray] = []
+    rel_parts: List[np.ndarray] = []
+    tail_parts: List[np.ndarray] = []
+    shared_item_parts: List[np.ndarray] = []
+    shared_ord_parts: List[np.ndarray] = []
+    num_unique = 0
+    for relation in range(config.num_attr_relations):
+        links = rng.poisson(config.links_per_item, size=num_items)
+        heads = np.repeat(np.arange(num_items, dtype=np.int64), links)
+        shared = rng.random(heads.size) < config.attr_sharing
+        slots = rng.integers(0, apc, size=heads.size)
+        pools = (relation * communities + item_community[heads]) * apc + slots
+        targets = np.empty(heads.size, dtype=np.int64)
+        targets[shared] = shared_offset + pools[shared]
+        fresh = int(np.count_nonzero(~shared))
+        targets[~shared] = (unique_offset + num_unique
+                            + np.arange(fresh, dtype=np.int64))
+        num_unique += fresh
+        heads_parts.append(heads)
+        rel_parts.append(np.full(heads.size, relation, dtype=np.int64))
+        tail_parts.append(targets)
+        shared_item_parts.append(heads[shared])
+        shared_ord_parts.append(pools[shared])
+
+    num_relations = config.num_attr_relations
+    num_entities = unique_offset + num_unique
+
+    if config.entity_entity_links:
+        ee_relation = num_relations
+        num_relations += 1
+        chain_heads = (shared_offset
+                       + (np.arange(config.num_attr_relations * communities,
+                                    dtype=np.int64) * apc)[:, None]
+                       + np.arange(max(apc - 1, 0), dtype=np.int64)[None, :]
+                       ).ravel()
+        keep = rng.random(chain_heads.size) < 0.5
+        chain_heads = chain_heads[keep]
+        heads_parts.append(chain_heads)
+        rel_parts.append(np.full(chain_heads.size, ee_relation, dtype=np.int64))
+        tail_parts.append(chain_heads + 1)
+
+    if config.item_item_relation:
+        ii_relation = num_relations
+        num_relations += 1
+        for community in range(communities):
+            members = np.flatnonzero(item_community == community)
+            if members.size < 2:
+                continue
+            linked = members[rng.random(members.size) < 0.7]
+            partners = members[rng.integers(0, members.size,
+                                            size=linked.size)]
+            keep = partners != linked
+            heads_parts.append(linked[keep])
+            rel_parts.append(np.full(int(keep.sum()), ii_relation,
+                                     dtype=np.int64))
+            tail_parts.append(partners[keep])
+
+    heads = np.concatenate(heads_parts) if heads_parts \
+        else np.empty(0, dtype=np.int64)
+    relations = np.concatenate(rel_parts) if rel_parts \
+        else np.empty(0, dtype=np.int64)
+    tails = np.concatenate(tail_parts) if tail_parts \
+        else np.empty(0, dtype=np.int64)
+
+    if config.kg_noise > 0 and tails.size:
+        rewire = rng.random(tails.size) < config.kg_noise
+        tails = tails.copy()
+        tails[rewire] = rng.integers(0, num_entities,
+                                     size=int(rewire.sum()))
+
+    kg = KnowledgeGraph(num_entities, num_relations,
+                        np.stack([heads, relations, tails], axis=1))
+
+    # CSR of shared-attribute ordinal -> linked items, entries grouped by
+    # ordinal (stable order within a group is irrelevant: lookups are
+    # weighted by popularity, not position).
+    shared_items = np.concatenate(shared_item_parts) if shared_item_parts \
+        else np.empty(0, dtype=np.int64)
+    shared_ords = np.concatenate(shared_ord_parts) if shared_ord_parts \
+        else np.empty(0, dtype=np.int64)
+    order = np.argsort(shared_ords, kind="stable")
+    attr_items = shared_items[order]
+    counts = np.bincount(shared_ords, minlength=num_shared)
+    attr_indptr = np.concatenate([[0], np.cumsum(counts)]).astype(np.int64)
+    return kg, attr_indptr, attr_items, num_shared
+
+
+def _sample_tastes_streamed(rng, config, chunk_community):
+    """Tastes for one user chunk as a ``(chunk, taste_size)`` array of
+    shared-attribute *ordinals* (repeats across a row are allowed —
+    unlike the looped path's sets — which slightly lowers effective
+    taste diversity but keeps the draw fully vectorized)."""
+    communities = config.num_communities
+    apc = config.attrs_per_community
+    shape = (chunk_community.size, max(config.taste_size, 1))
+    target = np.broadcast_to(chunk_community[:, None], shape).copy()
+    leak = rng.random(shape) < 0.1  # cross-community leakage
+    target[leak] = rng.integers(0, communities, size=int(leak.sum()))
+    relation = rng.integers(0, config.num_attr_relations, size=shape)
+    slot = rng.integers(0, apc, size=shape)
+    return (relation * communities + target) * apc + slot
+
+
+def _user_links_streamed(rng, config, user_community, start, stop):
+    """User-user triplets for one chunk: Poisson link counts, partners
+    uniform within the user's community (the looped path's taste-overlap
+    bias is dropped — at stream scale community co-membership already
+    encodes the overlap signal).  Returns an ``(n, 3)`` array."""
+    counts = rng.poisson(config.user_user_links, size=stop - start)
+    heads = np.repeat(np.arange(start, stop, dtype=np.int64), counts)
+    if not heads.size:
+        return np.empty((0, 3), dtype=np.int64)
+    order = np.argsort(user_community, kind="stable")
+    comm_counts = np.bincount(user_community,
+                              minlength=config.num_communities)
+    comm_indptr = np.concatenate([[0], np.cumsum(comm_counts)])
+    head_comm = user_community[heads]
+    offsets = rng.integers(0, np.maximum(comm_counts[head_comm], 1))
+    partners = order[comm_indptr[head_comm] + offsets]
+    keep = (partners != heads) & (comm_counts[head_comm] > 1)
+    heads = heads[keep]
+    partners = partners[keep]
+    return np.stack([heads, np.zeros(heads.size, dtype=np.int64),
+                     partners], axis=1)
 
 
 # ----------------------------------------------------------------------

@@ -1,7 +1,9 @@
 """Graph substrates: user-item graph, KG, and the collaborative KG."""
 
-from .ckg import INTERACT_RELATION, CollaborativeKG
+from .ckg import (INTERACT_RELATION, CollaborativeKG, MmapCollaborativeKG,
+                  load_npy)
 from .knowledge import KnowledgeGraph
 from .user_item import UserItemGraph
 
-__all__ = ["UserItemGraph", "KnowledgeGraph", "CollaborativeKG", "INTERACT_RELATION"]
+__all__ = ["UserItemGraph", "KnowledgeGraph", "CollaborativeKG",
+           "MmapCollaborativeKG", "load_npy", "INTERACT_RELATION"]

@@ -17,6 +17,8 @@ layerwise expansion of Eq. (9) — "all edges whose head is in the frontier"
 
 from __future__ import annotations
 
+import json
+import os
 from typing import Dict, Optional, Sequence, Tuple
 
 import numpy as np
@@ -26,6 +28,9 @@ from .knowledge import KnowledgeGraph
 from .user_item import UserItemGraph
 
 INTERACT_RELATION = 0
+
+CKG_META_NAME = "ckg_meta.json"
+_CKG_ARRAYS = ("heads", "relations", "tails", "indptr", "item_nodes")
 
 
 class CollaborativeKG:
@@ -322,6 +327,90 @@ class CollaborativeKG:
         matrix.sum_duplicates()
         return matrix
 
+    # ------------------------------------------------------------------
+    # On-disk layout (the mmap adjacency tier; see docs/storage.md)
+    # ------------------------------------------------------------------
+    def save_npy(self, directory: str) -> str:
+        """Write the CSR arrays as raw ``.npy`` files plus a meta JSON.
+
+        The arrays go to disk already in CSR-by-head order with the
+        precomputed ``indptr``, so :func:`load_npy` can reopen them as
+        read-only memory maps without re-sorting — the graph half of the
+        out-of-core tier.  Returns the directory.
+        """
+        os.makedirs(directory, exist_ok=True)
+        for name in _CKG_ARRAYS:
+            np.save(os.path.join(directory, f"{name}.npy"),
+                    getattr(self, name))
+        meta = {
+            "format": "repro-ckg-npy",
+            "num_users": self.num_users, "num_items": self.num_items,
+            "num_entities": self.num_entities,
+            "num_base_relations": self.num_base_relations,
+            "num_kg_relations": self.num_kg_relations,
+            "num_user_relations": self.num_user_relations,
+            "num_nodes": self.num_nodes,
+        }
+        tmp = os.path.join(directory, CKG_META_NAME + ".tmp")
+        with open(tmp, "w", encoding="utf-8") as handle:
+            json.dump(meta, handle, indent=1, sort_keys=True)
+        os.replace(tmp, os.path.join(directory, CKG_META_NAME))
+        return directory
+
     def __repr__(self) -> str:
         return (f"CollaborativeKG(nodes={self.num_nodes}, edges={self.num_edges}, "
                 f"relations={self.num_relations})")
+
+
+class MmapCollaborativeKG(CollaborativeKG):
+    """A CKG served straight off the ``.npy`` files of :meth:`save_npy`.
+
+    The edge arrays stay memory-mapped (read-only) instead of resident,
+    and construction skips the lexsort/recount of the base constructor —
+    the files already hold sorted CSR arrays, bitwise-identical to the
+    in-RAM graph they were saved from, so every downstream consumer
+    behaves identically.  Pickling ships only the directory path:
+    spawn-started workers (and remote eval processes) reopen the maps by
+    path instead of copying the arrays through the pickle stream.
+    """
+
+    def __init__(self, directory: str, mmap: bool = True):
+        self.directory = directory
+        self.mmap = bool(mmap)
+        with open(os.path.join(directory, CKG_META_NAME),
+                  encoding="utf-8") as handle:
+            meta = json.load(handle)
+        if meta.get("format") != "repro-ckg-npy":
+            raise ValueError(f"{directory} does not hold a saved CKG")
+        self.num_users = int(meta["num_users"])
+        self.num_items = int(meta["num_items"])
+        self.num_entities = int(meta["num_entities"])
+        self.num_base_relations = int(meta["num_base_relations"])
+        self.num_relations = 2 * self.num_base_relations
+        self.num_kg_relations = int(meta["num_kg_relations"])
+        self.num_user_relations = int(meta["num_user_relations"])
+        self.num_nodes = int(meta["num_nodes"])
+        mode = "r" if self.mmap else None
+        for name in _CKG_ARRAYS:
+            path = os.path.join(directory, f"{name}.npy")
+            setattr(self, name, np.load(path, mmap_mode=mode))
+        # indptr and item_nodes are tiny and hot — keep them resident.
+        self.indptr = np.asarray(self.indptr[:])
+        self.item_nodes = np.asarray(self.item_nodes[:])
+        self.num_edges = int(self.heads.size)
+        self._item_node_to_item = {
+            int(node): item
+            for item, node in enumerate(self.item_nodes.tolist())
+        }
+
+    def __reduce__(self):
+        return (load_npy, (self.directory, self.mmap))
+
+    def __repr__(self) -> str:
+        return (f"MmapCollaborativeKG(nodes={self.num_nodes}, "
+                f"edges={self.num_edges}, dir={self.directory!r})")
+
+
+def load_npy(directory: str, mmap: bool = True) -> MmapCollaborativeKG:
+    """Reopen a CKG saved by :meth:`CollaborativeKG.save_npy`."""
+    return MmapCollaborativeKG(directory, mmap=mmap)

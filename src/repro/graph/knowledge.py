@@ -29,6 +29,38 @@ class KnowledgeGraph:
         self.num_entities = int(num_entities)
         self.num_relations = int(num_relations)
 
+        if isinstance(triplets, np.ndarray):
+            # Array fast path for generator-scale KGs: validate, then
+            # dedup + lexicographic sort without per-triplet tuples.
+            # Yields the same (heads, relations, tails) as the tuple path.
+            array = np.ascontiguousarray(triplets, dtype=np.int64)
+            if array.size and (array.ndim != 2 or array.shape[1] != 3):
+                raise ValueError("triplet array must have shape (n, 3)")
+            if array.size:
+                entity_ids = array[:, [0, 2]]
+                if entity_ids.min() < 0 or entity_ids.max() >= num_entities:
+                    raise ValueError("triplet entity id out of range")
+                if array[:, 1].min() < 0 or array[:, 1].max() >= num_relations:
+                    raise ValueError("triplet relation id out of range")
+                if num_entities * num_relations < 2 ** 62 // num_entities:
+                    keys = np.unique(
+                        (array[:, 0] * np.int64(num_relations) + array[:, 1])
+                        * np.int64(num_entities) + array[:, 2])
+                    self.heads = keys // (num_entities * num_relations)
+                    remainder = keys % (num_entities * num_relations)
+                    self.relations = remainder // num_entities
+                    self.tails = remainder % num_entities
+                else:  # composite key would overflow int64
+                    array = np.unique(array, axis=0)
+                    self.heads = array[:, 0].copy()
+                    self.relations = array[:, 1].copy()
+                    self.tails = array[:, 2].copy()
+            else:
+                self.heads = np.empty(0, dtype=np.int64)
+                self.relations = np.empty(0, dtype=np.int64)
+                self.tails = np.empty(0, dtype=np.int64)
+            return
+
         unique = sorted(set((int(h), int(r), int(t)) for h, r, t in triplets))
         if unique:
             array = np.asarray(unique, dtype=np.int64)

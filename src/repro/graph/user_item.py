@@ -8,7 +8,7 @@ membership tests during negative sampling and evaluation masking.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Sequence, Set, Tuple
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
 
 import numpy as np
 
@@ -32,24 +32,56 @@ class UserItemGraph:
         self.num_users = int(num_users)
         self.num_items = int(num_items)
 
-        pairs = sorted(set((int(u), int(i)) for u, i in interactions))
-        if pairs:
-            users = np.fromiter((p[0] for p in pairs), dtype=np.int64, count=len(pairs))
-            items = np.fromiter((p[1] for p in pairs), dtype=np.int64, count=len(pairs))
+        if isinstance(interactions, np.ndarray):
+            # Array fast path for generator-scale populations: dedup +
+            # lexicographic sort via composite keys, no per-pair Python
+            # objects.  Same (users, items) arrays as the tuple path.
+            array = np.ascontiguousarray(interactions, dtype=np.int64)
+            if array.size and (array.ndim != 2 or array.shape[1] != 2):
+                raise ValueError(
+                    "interaction array must have shape (n, 2)")
+            if array.size:
+                if array[:, 0].min() < 0 or array[:, 0].max() >= num_users:
+                    raise ValueError("interaction user id out of range")
+                if array[:, 1].min() < 0 or array[:, 1].max() >= num_items:
+                    raise ValueError("interaction item id out of range")
+                keys = np.unique(array[:, 0] * np.int64(num_items)
+                                 + array[:, 1])
+                users = keys // num_items
+                items = keys % num_items
+            else:
+                users = np.empty(0, dtype=np.int64)
+                items = np.empty(0, dtype=np.int64)
         else:
-            users = np.empty(0, dtype=np.int64)
-            items = np.empty(0, dtype=np.int64)
-        if users.size:
-            if users.min() < 0 or users.max() >= num_users:
-                raise ValueError("interaction user id out of range")
-            if items.min() < 0 or items.max() >= num_items:
-                raise ValueError("interaction item id out of range")
+            pairs = sorted(set((int(u), int(i)) for u, i in interactions))
+            if pairs:
+                users = np.fromiter((p[0] for p in pairs), dtype=np.int64, count=len(pairs))
+                items = np.fromiter((p[1] for p in pairs), dtype=np.int64, count=len(pairs))
+            else:
+                users = np.empty(0, dtype=np.int64)
+                items = np.empty(0, dtype=np.int64)
+            if users.size:
+                if users.min() < 0 or users.max() >= num_users:
+                    raise ValueError("interaction user id out of range")
+                if items.min() < 0 or items.max() >= num_items:
+                    raise ValueError("interaction item id out of range")
         self.users = users
         self.items = items
+        # Built on first membership query: a million-user graph should
+        # not pay for a million Python sets at construction time.
+        self._positives: Optional[Dict[int, Set[int]]] = None
 
-        self._positives: Dict[int, Set[int]] = {}
-        for user, item in zip(users.tolist(), items.tolist()):
-            self._positives.setdefault(user, set()).add(item)
+    def _positive_sets(self) -> Dict[int, Set[int]]:
+        if self._positives is None:
+            positives: Dict[int, Set[int]] = {}
+            if self.users.size:
+                uniq, starts = np.unique(self.users, return_index=True)
+                bounds = np.append(starts, self.users.size)
+                for k, user in enumerate(uniq.tolist()):
+                    positives[user] = set(
+                        self.items[bounds[k]:bounds[k + 1]].tolist())
+            self._positives = positives
+        return self._positives
 
     # ------------------------------------------------------------------
     @property
@@ -58,14 +90,14 @@ class UserItemGraph:
 
     def positives(self, user: int) -> Set[int]:
         """Items the user interacted with (empty set if none)."""
-        return self._positives.get(int(user), set())
+        return self._positive_sets().get(int(user), set())
 
     def has_interaction(self, user: int, item: int) -> bool:
-        return int(item) in self._positives.get(int(user), ())
+        return int(item) in self._positive_sets().get(int(user), ())
 
     def users_with_interactions(self) -> List[int]:
         """Sorted list of users that have at least one interaction."""
-        return sorted(self._positives)
+        return sorted(self._positive_sets())
 
     def item_degrees(self) -> np.ndarray:
         """Number of interactions per item."""

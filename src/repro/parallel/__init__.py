@@ -8,8 +8,8 @@ deterministic, chunk-order-independent results.  See
 the determinism guarantees, and the telemetry-merge contract.
 """
 
-from .pool import (DEFAULT_ENV_VAR, chunk_sequence, resolve_workers,
-                   run_parallel)
+from .pool import (DEFAULT_ENV_VAR, START_METHOD_ENV_VAR,
+                   chunk_sequence, resolve_workers, run_parallel)
 
-__all__ = ["DEFAULT_ENV_VAR", "chunk_sequence", "resolve_workers",
-           "run_parallel"]
+__all__ = ["DEFAULT_ENV_VAR", "START_METHOD_ENV_VAR",
+           "chunk_sequence", "resolve_workers", "run_parallel"]

@@ -50,8 +50,8 @@ import multiprocessing as mp
 
 from .. import telemetry
 
-__all__ = ["DEFAULT_ENV_VAR", "resolve_workers", "chunk_sequence",
-           "run_parallel"]
+__all__ = ["DEFAULT_ENV_VAR", "START_METHOD_ENV_VAR",
+           "resolve_workers", "chunk_sequence", "run_parallel"]
 
 #: environment variable consulted when a caller passes ``None`` workers
 DEFAULT_ENV_VAR = "REPRO_NUM_WORKERS"
@@ -221,9 +221,29 @@ def run_parallel(fn: Callable[[Any, Any], Any], tasks: Sequence[Any], *,
     return results
 
 
+#: forces a multiprocessing start method (``fork`` / ``spawn`` /
+#: ``forkserver``) regardless of platform default — the lever the
+#: spawn-equivalence tests use, and an escape hatch on fork-hostile
+#: runtimes.  With the mmap store, spawn transports graphs and scores by
+#: path, so forcing it is cheap.
+START_METHOD_ENV_VAR = "REPRO_START_METHOD"
+
+
 def _pool_context():
-    """Pick a start method: ``fork`` (free context transport) if usable."""
+    """Pick a start method: ``fork`` (free context transport) if usable.
+
+    ``$REPRO_START_METHOD`` overrides the choice; an unknown value warns
+    and falls back to the platform default rather than failing the run.
+    """
     methods = mp.get_all_start_methods()
+    requested = os.environ.get(START_METHOD_ENV_VAR, "").strip().lower()
+    if requested:
+        if requested in methods:
+            return mp.get_context(requested), requested == "fork"
+        warnings.warn(
+            f"{START_METHOD_ENV_VAR}={requested!r} is not available on "
+            f"this platform (choices: {methods}); using the default",
+            RuntimeWarning)
     if "fork" in methods:
         return mp.get_context("fork"), True
     return mp.get_context("spawn"), False

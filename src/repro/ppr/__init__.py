@@ -10,13 +10,15 @@ interactions arrive.
 """
 
 from .pagerank import (PPRScores, personalized_pagerank,
-                       personalized_pagerank_batch, top_k_items_by_ppr)
+                       personalized_pagerank_batch,
+                       personalized_pagerank_mmap, top_k_items_by_ppr)
 from .push import (IncrementalPushResult, PPRScoreLike, SparsePPRScores,
                    concat_sparse_scores, forward_push_batch,
-                   incremental_push, sparsify_scores)
+                   forward_push_sharded, incremental_push, sparsify_scores)
 
 __all__ = ["personalized_pagerank", "personalized_pagerank_batch",
+           "personalized_pagerank_mmap",
            "PPRScores", "top_k_items_by_ppr",
-           "SparsePPRScores", "forward_push_batch", "sparsify_scores",
-           "concat_sparse_scores", "PPRScoreLike",
+           "SparsePPRScores", "forward_push_batch", "forward_push_sharded",
+           "sparsify_scores", "concat_sparse_scores", "PPRScoreLike",
            "incremental_push", "IncrementalPushResult"]

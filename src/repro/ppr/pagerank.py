@@ -130,6 +130,44 @@ def personalized_pagerank_batch(ckg: CollaborativeKG, users: Sequence[int],
     return PPRScores(users=user_array, scores=ranks.T.copy(), residual=residual)
 
 
+def personalized_pagerank_mmap(ckg: CollaborativeKG, users: Sequence[int],
+                               out_path: str, alpha: float = DEFAULT_ALPHA,
+                               iterations: int = DEFAULT_ITERATIONS,
+                               chunk_users: int = 64,
+                               tolerance: float = 0.0) -> np.ndarray:
+    """Power-iteration PPR written chunk-by-chunk into an on-disk array.
+
+    The out-of-core counterpart of :func:`personalized_pagerank_batch`
+    for the dense backend: rows land in a ``.npy`` memmap at
+    ``out_path`` as each ``chunk_users`` batch converges, so peak RAM is
+    one chunk's scores plus the adjacency — never the full
+    ``(num_users, num_nodes)`` matrix.  Each chunk runs the exact same
+    iteration as the in-RAM path, so the stored rows are
+    bitwise-identical to it.  Returns the read-only memmap.
+    """
+    if chunk_users < 1:
+        raise ValueError(f"chunk_users must be >= 1, got {chunk_users}")
+    user_array = np.asarray(list(users), dtype=np.int64)
+    if user_array.size == 0:
+        raise ValueError("users must be non-empty")
+    if not out_path.endswith(".npy"):
+        out_path = out_path + ".npy"
+    matrix = ckg.normalized_adjacency()
+    out = np.lib.format.open_memmap(
+        out_path, mode="w+", dtype=np.float64,
+        shape=(user_array.size, ckg.num_nodes))
+    with telemetry.span("ppr.power_iteration_mmap"):
+        for start in range(0, user_array.size, chunk_users):
+            chunk = user_array[start:start + chunk_users]
+            part = personalized_pagerank_batch(
+                ckg, chunk, alpha=alpha, iterations=iterations,
+                adjacency=matrix, tolerance=tolerance)
+            out[start:start + chunk.size] = part.scores
+    out.flush()
+    del out
+    return np.load(out_path, mmap_mode="r")
+
+
 def top_k_items_by_ppr(ckg: CollaborativeKG, scores: np.ndarray, k: int,
                        exclude_items: Optional[Sequence[int]] = None) -> np.ndarray:
     """Rank items by a user's PPR node scores (the PPR baseline of §V-C1).

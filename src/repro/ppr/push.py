@@ -270,6 +270,57 @@ class SparsePPRScores:
         degrees = np.maximum(np.asarray(degrees, dtype=np.float64), 1.0)
         self.values /= degrees[self.node_ids].astype(np.float32)
 
+    # ------------------------------------------------------------------
+    def save(self, path: str) -> str:
+        """Serialize every field — including the maintenance state — to npz.
+
+        The residual CSR and the ``alpha`` / ``epsilon`` solver contract
+        ride along when present, so :func:`incremental_push` keeps
+        working on a structure that went through disk (regression-tested
+        in ``tests/test_ppr_push.py``).  Returns the path written.
+        """
+        path = _npz_path(path)
+        payload = dict(
+            users=self.users, num_nodes=np.int64(self.num_nodes),
+            indptr=self.indptr, node_ids=self.node_ids, values=self.values,
+            residual=np.float64(self.residual))
+        if self.has_residuals:
+            payload.update(
+                res_indptr=self.res_indptr, res_node_ids=self.res_node_ids,
+                res_values=self.res_values)
+        if self.alpha is not None:
+            payload["alpha"] = np.float64(self.alpha)
+        if self.epsilon is not None:
+            payload["epsilon"] = np.float64(self.epsilon)
+        np.savez(path, **payload)
+        return path
+
+    @classmethod
+    def load(cls, path: str) -> "SparsePPRScores":
+        """Inverse of :meth:`save`; restores maintenance state if stored."""
+        path = _npz_path(path)
+        with np.load(path) as payload:
+            optional = {}
+            if "res_indptr" in payload:
+                optional.update(
+                    res_indptr=payload["res_indptr"],
+                    res_node_ids=payload["res_node_ids"],
+                    res_values=payload["res_values"])
+            if "alpha" in payload:
+                optional["alpha"] = float(payload["alpha"])
+            if "epsilon" in payload:
+                optional["epsilon"] = float(payload["epsilon"])
+            return cls(
+                users=payload["users"],
+                num_nodes=int(payload["num_nodes"]),
+                indptr=payload["indptr"], node_ids=payload["node_ids"],
+                values=payload["values"],
+                residual=float(payload["residual"]), **optional)
+
+
+def _npz_path(path: str) -> str:
+    return path if path.endswith(".npz") else path + ".npz"
+
 
 # ----------------------------------------------------------------------
 # Solver
@@ -446,6 +497,52 @@ def forward_push_batch(ckg: CollaborativeKG, users: Sequence[int],
     return scores
 
 
+def forward_push_sharded(ckg: CollaborativeKG, users: Sequence[int],
+                         directory: str, alpha: float = 0.15,
+                         epsilon: float = DEFAULT_EPSILON,
+                         top_m: int = DEFAULT_TOP_M,
+                         chunk_users: int = DEFAULT_CHUNK_USERS,
+                         keep_residuals: bool = False,
+                         max_open: Optional[int] = None,
+                         overwrite: bool = False):
+    """Forward push written to disk shard-by-shard, never all in RAM.
+
+    Same solver, same parameters, same chunking as
+    :func:`forward_push_batch` — but each ``chunk_users`` chunk is
+    flushed to ``directory`` as one ``.npy`` CSR shard the moment it
+    finishes, so peak memory is a single chunk no matter how many users
+    are requested.  The solver processes chunks independently and the
+    shards store its exact per-chunk arrays, which is why reads from the
+    returned :class:`~repro.storage.ShardedPPRScores` are
+    bitwise-identical to the in-RAM backend on the same solve.
+
+    Telemetry is additive across the per-chunk solver calls, so
+    ``ppr.push_ops`` / ``ppr.users`` totals match a single serial call;
+    the ``ppr.residual_mass`` / ``ppr.score_bytes`` gauges are restated
+    with the whole-run values once the manifest is written.
+    """
+    from ..storage.sharded import ShardWriter
+    user_array = np.asarray(list(users), dtype=np.int64)
+    if user_array.size == 0:
+        raise ValueError("users must be non-empty")
+    writer = ShardWriter(directory, ckg.num_nodes,
+                         keep_residuals=keep_residuals, overwrite=overwrite)
+    total_residual = 0.0
+    with telemetry.span("ppr.forward_push_sharded"):
+        for start in range(0, user_array.size, chunk_users):
+            chunk = user_array[start:start + chunk_users]
+            part = forward_push_batch(
+                ckg, chunk, alpha=alpha, epsilon=epsilon, top_m=top_m,
+                chunk_users=chunk_users, keep_residuals=keep_residuals)
+            total_residual += part.residual
+            writer.append(part)
+        store = writer.finalize(alpha=alpha, epsilon=epsilon,
+                                max_open=max_open)
+    telemetry.gauge("ppr.residual_mass", total_residual)
+    telemetry.gauge("ppr.score_bytes", store.nbytes)
+    return store
+
+
 # ----------------------------------------------------------------------
 # Incremental maintenance
 # ----------------------------------------------------------------------
@@ -477,7 +574,71 @@ class IncrementalPushResult:
     push_ops: int
 
 
-def incremental_push(ckg: CollaborativeKG, scores: SparsePPRScores,
+def _delta_edges(ckg: CollaborativeKG,
+                 pairs: Sequence[Tuple[int, int]]
+                 ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Inserted directed edges for an interaction delta, in order.
+
+    Each pair contributes interact (user -> item node) then its reverse
+    twin.  Returns ``(heads, tails, deg_at)`` where ``deg_at[j]`` is the
+    head's out-degree at the moment edge ``j`` is applied — the old
+    degree plus earlier insertions at the same head — so the correction
+    holds exactly on each intermediate graph.
+    """
+    pair_array = np.asarray(pairs, dtype=np.int64)
+    user_nodes = pair_array[:, 0]
+    item_nodes = ckg.item_nodes[pair_array[:, 1]]
+    ins_heads = np.empty(2 * len(pairs), dtype=np.int64)
+    ins_tails = np.empty_like(ins_heads)
+    ins_heads[0::2] = user_nodes
+    ins_tails[0::2] = item_nodes
+    ins_heads[1::2] = item_nodes
+    ins_tails[1::2] = user_nodes
+
+    old_degrees = np.diff(ckg.indptr)
+    deg_at = old_degrees[ins_heads].copy()
+    runs: dict = {}
+    for j, head in enumerate(ins_heads.tolist()):
+        deg_at[j] += runs.get(head, 0)
+        runs[head] = runs.get(head, 0) + 1
+    return ins_heads, ins_tails, deg_at
+
+
+def _apply_delta_chunk(new_ckg: CollaborativeKG, estimate: np.ndarray,
+                       residual: np.ndarray, ins_heads: np.ndarray,
+                       ins_tails: np.ndarray, deg_at: np.ndarray,
+                       alpha: float, thresholds: np.ndarray,
+                       degrees: np.ndarray, inv_degrees: np.ndarray
+                       ) -> Tuple[int, np.ndarray]:
+    """Apply the per-edge corrections to one dense chunk, then re-sweep.
+
+    The chunk kernel shared by the in-RAM and sharded incremental paths
+    — identical float operations in identical order, so both backends
+    produce bitwise-identical updated rows.  Mutates ``estimate`` /
+    ``residual`` in place; returns ``(sweep_ops, touched)`` where
+    ``touched`` flags the chunk rows whose state moved.
+    """
+    touched = np.zeros(estimate.shape[0], dtype=bool)
+    for j in range(ins_heads.size):
+        head = int(ins_heads[j])
+        tail = int(ins_tails[j])
+        degree = int(deg_at[j])
+        p_head = estimate[:, head].copy()
+        if degree == 0:
+            residual[:, tail] += (1.0 - alpha) / alpha * p_head
+        else:
+            estimate[:, head] += p_head / degree
+            residual[:, head] -= p_head / (alpha * degree)
+            residual[:, tail] += (1.0 - alpha) * p_head / (alpha * degree)
+        touched |= p_head != 0.0
+
+    sweep_ops = _sweep_chunk(new_ckg, estimate, residual, thresholds,
+                             degrees, inv_degrees, alpha, signed=True,
+                             touched=touched)
+    return sweep_ops, touched
+
+
+def incremental_push(ckg: CollaborativeKG, scores,
                      new_interactions: Sequence[Tuple[int, int]],
                      chunk_users: int = DEFAULT_CHUNK_USERS
                      ) -> IncrementalPushResult:
@@ -524,7 +685,14 @@ def incremental_push(ckg: CollaborativeKG, scores: SparsePPRScores,
         :meth:`~repro.graph.ckg.CollaborativeKG.add_interactions`.
     chunk_users:
         Score rows densified simultaneously (bounds temporary memory).
+        Ignored for sharded scores, whose shards are the chunks.
     """
+    # Sharded stores maintain themselves shard-by-shard with targeted
+    # invalidation; the import is lazy to keep storage -> push one-way.
+    from ..storage.sharded import (ShardedPPRScores,
+                                   incremental_push_sharded)
+    if isinstance(scores, ShardedPPRScores):
+        return incremental_push_sharded(ckg, scores, new_interactions)
     if not scores.has_residuals:
         raise ValueError(
             "incremental_push requires scores computed with "
@@ -545,28 +713,7 @@ def incremental_push(ckg: CollaborativeKG, scores: SparsePPRScores,
     with telemetry.span("ppr.incremental_push"):
         new_ckg = ckg.add_interactions(pairs)
         num_nodes = ckg.num_nodes
-
-        # The inserted directed edges, in application order: each pair
-        # contributes interact (user -> item node) then its reverse twin.
-        pair_array = np.asarray(pairs, dtype=np.int64)
-        user_nodes = pair_array[:, 0]
-        item_nodes = ckg.item_nodes[pair_array[:, 1]]
-        ins_heads = np.empty(2 * len(pairs), dtype=np.int64)
-        ins_tails = np.empty_like(ins_heads)
-        ins_heads[0::2] = user_nodes
-        ins_tails[0::2] = item_nodes
-        ins_heads[1::2] = item_nodes
-        ins_tails[1::2] = user_nodes
-
-        # Out-degree of each head at the moment its edge is applied:
-        # the old degree plus earlier insertions at the same head.
-        old_degrees = np.diff(ckg.indptr)
-        deg_at = old_degrees[ins_heads].copy()
-        runs: dict = {}
-        for j, head in enumerate(ins_heads.tolist()):
-            deg_at[j] += runs.get(head, 0)
-            runs[head] = runs.get(head, 0) + 1
-
+        ins_heads, ins_tails, deg_at = _delta_edges(ckg, pairs)
         new_degrees = np.diff(new_ckg.indptr)
         inv_degrees = (1.0 - alpha) / np.maximum(new_degrees, 1)
         thresholds = epsilon * new_degrees.astype(np.float64)
@@ -593,24 +740,10 @@ def incremental_push(ckg: CollaborativeKG, scores: SparsePPRScores,
                 residual[local, scores.res_node_ids[lo:hi]] = \
                     scores.res_values[lo:hi]
 
-            touched = np.zeros(batch, dtype=bool)
-            for j in range(ins_heads.size):
-                head = int(ins_heads[j])
-                tail = int(ins_tails[j])
-                degree = int(deg_at[j])
-                p_head = estimate[:, head].copy()
-                if degree == 0:
-                    residual[:, tail] += (1.0 - alpha) / alpha * p_head
-                else:
-                    estimate[:, head] += p_head / degree
-                    residual[:, head] -= p_head / (alpha * degree)
-                    residual[:, tail] += \
-                        (1.0 - alpha) * p_head / (alpha * degree)
-                touched |= p_head != 0.0
-
-            sweep_ops += _sweep_chunk(new_ckg, estimate, residual,
-                                      thresholds, new_degrees, inv_degrees,
-                                      alpha, signed=True, touched=touched)
+            ops, touched = _apply_delta_chunk(
+                new_ckg, estimate, residual, ins_heads, ins_tails, deg_at,
+                alpha, thresholds, new_degrees, inv_degrees)
+            sweep_ops += ops
             total_residual += float(np.abs(residual).sum())
             changed[start:stop] = touched
 

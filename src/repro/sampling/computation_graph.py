@@ -196,10 +196,13 @@ def build_user_centric_graph(
                 with telemetry.span("ppr.prune"):
                     expanded = src_pos.size
                     if sampler == "ppr":
-                        if isinstance(ppr_scores, SparsePPRScores):
-                            scores = ppr_scores.lookup(edge_slots, tails)
-                        else:
+                        # Dense ndarrays index directly; every other
+                        # backend (in-RAM CSR, mmap'd shards) serves the
+                        # gather through the ScoreStore lookup contract.
+                        if isinstance(ppr_scores, np.ndarray):
                             scores = ppr_scores[edge_slots, tails]
+                        else:
+                            scores = ppr_scores.lookup(edge_slots, tails)
                     else:
                         scores = rng.random(src_pos.size)
                     keep = _top_k_per_group(src_pos, scores, layer_k)

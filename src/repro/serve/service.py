@@ -30,6 +30,7 @@ so the lock is held once per request, not per user.
 
 from __future__ import annotations
 
+import os
 import threading
 from collections import OrderedDict
 from dataclasses import dataclass
@@ -42,7 +43,8 @@ from ..core.trainer import KUCNetRecommender
 from ..data.dataset import Split
 from ..eval.metrics import rank_items
 from ..graph import CollaborativeKG
-from ..ppr import SparsePPRScores, forward_push_batch, incremental_push
+from ..ppr import (SparsePPRScores, forward_push_batch,
+                   forward_push_sharded, incremental_push)
 from ..sampling import build_user_centric_graph
 
 
@@ -69,9 +71,13 @@ class RecommendationService:
     """
 
     def __init__(self, model, model_config, train_config,
-                 ckg: CollaborativeKG, scores: SparsePPRScores,
+                 ckg: CollaborativeKG, scores,
                  positives: Dict[int, Set[int]],
                  config: Optional[ServeConfig] = None):
+        """``scores`` is either PPR score backend (see ``docs/storage.md``):
+        in-RAM :class:`~repro.ppr.SparsePPRScores` or mmap-backed
+        :class:`~repro.storage.ShardedPPRScores` — both must carry
+        residuals for incremental maintenance."""
         if not scores.has_residuals:
             raise ValueError(
                 "serving requires scores computed with keep_residuals=True")
@@ -92,7 +98,9 @@ class RecommendationService:
     # ------------------------------------------------------------------
     @classmethod
     def from_recommender(cls, recommender: KUCNetRecommender, split: Split,
-                         config: Optional[ServeConfig] = None
+                         config: Optional[ServeConfig] = None,
+                         store: Optional[str] = None,
+                         store_dir: Optional[str] = None
                          ) -> "RecommendationService":
         """Wrap a prepared/fitted recommender for online serving.
 
@@ -101,19 +109,51 @@ class RecommendationService:
         place during ``prepare`` — unusable for maintenance) using the
         recommender's solver parameters, and seeds the exclusion sets
         from the training split.
+
+        ``store`` picks the score backend for the serving copy:
+        ``"ram"`` (in-memory CSR) or ``"mmap"`` (on-disk shards queried
+        through memory maps, maintained with targeted shard
+        invalidation).  ``None`` follows the recommender's resolved
+        backend, falling back to ``$REPRO_PPR_STORE``.  ``store_dir``
+        places the shard files; the default is a fresh tempdir reclaimed
+        when the service is collected.
         """
         if recommender.model is None or recommender.ckg is None:
             raise ValueError(
                 "recommender must be prepared (or fitted) before serving")
+        from ..storage import resolve_store, resolve_store_dir
         train_config = recommender.train_config
-        scores = forward_push_batch(
-            recommender.ckg, range(recommender.ckg.num_users),
-            alpha=train_config.ppr_alpha, epsilon=train_config.ppr_epsilon,
-            chunk_users=train_config.ppr_chunk_users, keep_residuals=True)
+        if store is None:
+            store = getattr(recommender, "ppr_store", None) \
+                or train_config.ppr_store
+        store = resolve_store(store)
+        if store == "mmap":
+            directory = resolve_store_dir(store_dir, prefix="repro_serve_")
+            scores = forward_push_sharded(
+                recommender.ckg, range(recommender.ckg.num_users),
+                os.path.join(directory, "serve_scores"),
+                alpha=train_config.ppr_alpha,
+                epsilon=train_config.ppr_epsilon,
+                chunk_users=train_config.ppr_chunk_users,
+                keep_residuals=True, overwrite=True)
+        else:
+            scores = forward_push_batch(
+                recommender.ckg, range(recommender.ckg.num_users),
+                alpha=train_config.ppr_alpha,
+                epsilon=train_config.ppr_epsilon,
+                chunk_users=train_config.ppr_chunk_users,
+                keep_residuals=True)
         positives = {int(user): set(split.train.positives(user))
                      for user in split.train.users_with_interactions()}
-        return cls(recommender.model, recommender.model_config, train_config,
-                   recommender.ckg, scores, positives, config=config)
+        service = cls(recommender.model, recommender.model_config,
+                      train_config, recommender.ckg, scores, positives,
+                      config=config)
+        if store == "mmap" and not store_dir:
+            import shutil
+            import weakref
+            weakref.finalize(service, shutil.rmtree, directory,
+                             ignore_errors=True)
+        return service
 
     # ------------------------------------------------------------------
     # Queries

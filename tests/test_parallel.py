@@ -6,6 +6,8 @@ to the serial path, and the telemetry counters merged back from workers
 equal the serial run's counters exactly.
 """
 
+import multiprocessing as mp
+
 import numpy as np
 import pytest
 
@@ -13,7 +15,8 @@ from repro import telemetry
 from repro.core import KUCNetConfig, KUCNetRecommender, TrainConfig
 from repro.data import lastfm_like, traditional_split
 from repro.eval import evaluate
-from repro.parallel import (chunk_sequence, resolve_workers, run_parallel)
+from repro.parallel import (START_METHOD_ENV_VAR, chunk_sequence,
+                            resolve_workers, run_parallel)
 from repro.ppr import concat_sparse_scores, forward_push_batch
 from repro.telemetry.tracer import MetricsRegistry
 
@@ -23,6 +26,21 @@ WORKER_COUNTS = (1, 2, 4)
 @pytest.fixture(scope="module")
 def split():
     return traditional_split(lastfm_like(seed=0, scale=0.4), seed=0)
+
+
+@pytest.fixture(params=["fork", "spawn"])
+def start_method(request, monkeypatch):
+    """Force each multiprocessing start method in turn.
+
+    The bitwise serial/parallel contract must hold under both context
+    transports: fork (workers inherit the parent's memory) and spawn
+    (context pickled through the pool initializer — what fork-hostile
+    platforms and the mmap store's by-path transport rely on).
+    """
+    if request.param not in mp.get_all_start_methods():
+        pytest.skip(f"start method {request.param!r} unavailable")
+    monkeypatch.setenv(START_METHOD_ENV_VAR, request.param)
+    return request.param
 
 
 def _domain_counters(snapshot):
@@ -216,7 +234,8 @@ class TestMergeSnapshot:
 
 class TestPPREquivalence:
     @pytest.mark.parametrize("workers", WORKER_COUNTS)
-    def test_power_scores_bitwise_identical(self, split, workers):
+    def test_power_scores_bitwise_identical(self, split, workers,
+                                            start_method):
         serial, serial_snap = _prepare(split, ppr_method="power",
                                        num_workers=1)
         if workers == 1:
@@ -228,23 +247,41 @@ class TestPPREquivalence:
         assert _domain_counters(serial_snap) == _domain_counters(other_snap)
 
     @pytest.mark.parametrize("workers", WORKER_COUNTS)
-    def test_push_scores_bitwise_identical(self, split, workers):
+    def test_push_scores_bitwise_identical(self, split, workers,
+                                           start_method):
         serial, serial_snap = _prepare(split, ppr_method="push",
                                        num_workers=1)
         other, other_snap = _prepare(split, ppr_method="push",
                                      num_workers=workers)
-        for attribute in ("indptr", "node_ids", "values", "users"):
-            assert np.array_equal(getattr(serial.ppr_scores, attribute),
-                                  getattr(other.ppr_scores, attribute))
-        assert serial.ppr_scores.residual == other.ppr_scores.residual
+        serial_scores, other_scores = serial.ppr_scores, other.ppr_scores
+        assert np.array_equal(serial_scores.users, other_scores.users)
+        assert serial_scores.residual == other_scores.residual
+        if not hasattr(serial_scores, "indptr"):
+            # sharded mmap backend (REPRO_PPR_STORE=mmap): materialize
+            # both sides the same way and compare the flat CSR arrays
+            serial_scores = serial_scores.select(serial_scores.users.tolist())
+            other_scores = other_scores.select(other_scores.users.tolist())
+        for attribute in ("indptr", "node_ids", "values"):
+            assert np.array_equal(getattr(serial_scores, attribute),
+                                  getattr(other_scores, attribute))
         assert _domain_counters(serial_snap) == _domain_counters(other_snap)
 
-    def test_push_gauges_match_serial(self, split):
+    def test_push_gauges_match_serial(self, split, start_method):
         _, serial_snap = _prepare(split, ppr_method="push", num_workers=1)
         _, worker_snap = _prepare(split, ppr_method="push", num_workers=2)
         for gauge in ("ppr.residual_mass", "ppr.score_bytes"):
             assert (serial_snap["gauges"][gauge]["value"]
                     == worker_snap["gauges"][gauge]["value"])
+
+    def test_unknown_start_method_warns_and_degrades(self, split,
+                                                     monkeypatch):
+        monkeypatch.setenv(START_METHOD_ENV_VAR, "threads")
+        with pytest.warns(RuntimeWarning, match="not available"):
+            _, snap = _prepare(split, ppr_method="push", num_workers=2)
+        # the run still completes through the default-method pool (or
+        # the serial fallback) with full counters
+        assert snap["counters"]["ppr.users"]["total"] \
+            == split.train.num_users
 
     def test_concat_matches_single_call(self, split):
         rec, _ = _prepare(split, ppr_method="push", num_workers=1)
@@ -272,7 +309,8 @@ class TestEvalEquivalence:
         return rec
 
     @pytest.mark.parametrize("workers", WORKER_COUNTS)
-    def test_metrics_bitwise_identical(self, model, split, workers):
+    def test_metrics_bitwise_identical(self, model, split, workers,
+                                       start_method):
         serial = evaluate(model, split, batch_size=8, num_workers=1)
         result = evaluate(model, split, batch_size=8, num_workers=workers)
         assert result.recall == serial.recall

@@ -248,7 +248,7 @@ class TestTrainerEquivalence:
         rec = KUCNetRecommender(
             KUCNetConfig(dim=8, depth=2, seed=0),
             TrainConfig(epochs=1, k=10, seed=0, ppr_method="push",
-                        ppr_top_m=64))
+                        ppr_top_m=64, ppr_store="ram"))
         rec.fit(split)
         assert isinstance(rec.ppr_scores, SparsePPRScores)
         per_user = np.diff(rec.ppr_scores.indptr)
